@@ -1,0 +1,346 @@
+// drmstore: a realistic Digital Rights Management state store — the
+// workload class the paper's introduction motivates (§1).
+//
+// The device stores, in one trusted database:
+//
+//   - licenses with different contract types ("pay-per-view",
+//     "free after first ten paid views", subscriptions with expiry),
+//   - a prepaid account balance with monetary value,
+//   - an append-only audit log of consumption events.
+//
+// The example exercises contracts end to end: consuming content debits the
+// balance according to the contract, everything updates in one atomic,
+// durable transaction, range queries find expiring subscriptions, the audit
+// log is enumerated in order, and an incremental backup is taken after the
+// day's activity.
+//
+// Run with:
+//
+//	go run ./examples/drmstore
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"tdb"
+	"tdb/internal/platform"
+)
+
+// Contract types.
+const (
+	PayPerView   = int32(1) // fixed fee per consumption
+	FreeAfterTen = int32(2) // "free after first ten paid views" (§1)
+	Subscription = int32(3) // free until expiry day
+	licenseClass = tdb.ClassID(201)
+	accountClass = tdb.ClassID(202)
+	auditClass   = tdb.ClassID(203)
+	centsPerView = 150
+)
+
+// License is the persistent per-content contract state.
+type License struct {
+	ContentID int64
+	Contract  int32
+	// Views counts consumptions (the usage meter).
+	Views int64
+	// ExpiryDay applies to subscriptions.
+	ExpiryDay int64
+}
+
+func (l *License) ClassID() tdb.ClassID { return licenseClass }
+func (l *License) Pickle(p *tdb.Pickler) {
+	p.Int64(l.ContentID)
+	p.Int32(l.Contract)
+	p.Int64(l.Views)
+	p.Int64(l.ExpiryDay)
+}
+func (l *License) Unpickle(u *tdb.Unpickler) error {
+	l.ContentID = u.Int64()
+	l.Contract = u.Int32()
+	l.Views = u.Int64()
+	l.ExpiryDay = u.Int64()
+	return u.Err()
+}
+
+// Account is the prepaid balance — exactly the kind of state a consumer
+// would love to "restore from yesterday" (the replay attack TDB detects).
+type Account struct {
+	ID           int64
+	BalanceCents int64
+}
+
+func (a *Account) ClassID() tdb.ClassID { return accountClass }
+func (a *Account) Pickle(p *tdb.Pickler) {
+	p.Int64(a.ID)
+	p.Int64(a.BalanceCents)
+}
+func (a *Account) Unpickle(u *tdb.Unpickler) error {
+	a.ID = u.Int64()
+	a.BalanceCents = u.Int64()
+	return u.Err()
+}
+
+// AuditEvent is one consumption record.
+type AuditEvent struct {
+	Seq       int64
+	ContentID int64
+	Charged   int64
+}
+
+func (e *AuditEvent) ClassID() tdb.ClassID { return auditClass }
+func (e *AuditEvent) Pickle(p *tdb.Pickler) {
+	p.Int64(e.Seq)
+	p.Int64(e.ContentID)
+	p.Int64(e.Charged)
+}
+func (e *AuditEvent) Unpickle(u *tdb.Unpickler) error {
+	e.Seq = u.Int64()
+	e.ContentID = u.Int64()
+	e.Charged = u.Int64()
+	return u.Err()
+}
+
+// Indexes. Licenses are reachable by content id (unique hash) and by expiry
+// day (B-tree: range queries find expiring subscriptions). Note the expiry
+// index is functional — derived from two fields: non-subscriptions sort as
+// "never expires".
+func licByContent() tdb.GenericIndexer {
+	return tdb.NewIndexer("content", true, tdb.HashTable,
+		func(l *License) tdb.IntKey { return tdb.IntKey(l.ContentID) })
+}
+
+func licByExpiry() tdb.GenericIndexer {
+	return tdb.NewIndexer("expiry", false, tdb.BTree,
+		func(l *License) tdb.IntKey {
+			if l.Contract != Subscription {
+				return tdb.IntKey(1 << 62) // effectively plusInfinity
+			}
+			return tdb.IntKey(l.ExpiryDay)
+		})
+}
+
+func acctByID() tdb.GenericIndexer {
+	return tdb.NewIndexer("id", true, tdb.HashTable,
+		func(a *Account) tdb.IntKey { return tdb.IntKey(a.ID) })
+}
+
+func auditLog() tdb.GenericIndexer {
+	return tdb.NewIndexer("log", false, tdb.List,
+		func(e *AuditEvent) tdb.IntKey { return tdb.IntKey(e.Seq) })
+}
+
+// player is the DRM engine state.
+type player struct {
+	db       *tdb.DB
+	auditSeq int64
+}
+
+// consume enforces the content's contract: it checks rights, debits the
+// balance, bumps the usage meter, and appends an audit record — atomically
+// and durably. Errors (insufficient funds, expired subscription) leave no
+// trace in the database.
+func (pl *player) consume(contentID int64, today int64) (charged int64, err error) {
+	txn := pl.db.Begin()
+	defer func() {
+		if err != nil {
+			txn.Abort()
+		}
+	}()
+	licenses, err := txn.WriteCollection("licenses", licByContent(), licByExpiry())
+	if err != nil {
+		return 0, err
+	}
+	it, err := licenses.QueryExact(licByContent(), tdb.IntKey(contentID))
+	if err != nil {
+		return 0, err
+	}
+	if !it.Next() {
+		it.Close()
+		return 0, fmt.Errorf("no license for content %d", contentID)
+	}
+	lic, err := tdb.WriteAs[*License](it)
+	if err != nil {
+		it.Close()
+		return 0, err
+	}
+	switch lic.Contract {
+	case PayPerView:
+		charged = centsPerView
+	case FreeAfterTen:
+		if lic.Views < 10 {
+			charged = centsPerView
+		}
+	case Subscription:
+		if today > lic.ExpiryDay {
+			it.Close()
+			return 0, errors.New("subscription expired")
+		}
+	}
+	lic.Views++
+	if err := it.Close(); err != nil {
+		return 0, err
+	}
+
+	if charged > 0 {
+		accounts, err := txn.WriteCollection("accounts", acctByID())
+		if err != nil {
+			return 0, err
+		}
+		ait, err := accounts.QueryExact(acctByID(), tdb.IntKey(1))
+		if err != nil {
+			return 0, err
+		}
+		if !ait.Next() {
+			ait.Close()
+			return 0, errors.New("no prepaid account")
+		}
+		acct, err := tdb.WriteAs[*Account](ait)
+		if err != nil {
+			ait.Close()
+			return 0, err
+		}
+		if acct.BalanceCents < charged {
+			ait.Close()
+			return 0, errors.New("insufficient prepaid balance")
+		}
+		acct.BalanceCents -= charged
+		if err := ait.Close(); err != nil {
+			return 0, err
+		}
+	}
+
+	audit, err := txn.WriteCollection("audit", auditLog())
+	if err != nil {
+		return 0, err
+	}
+	pl.auditSeq++
+	if _, err := audit.Insert(&AuditEvent{Seq: pl.auditSeq, ContentID: contentID, Charged: charged}); err != nil {
+		return 0, err
+	}
+	if err := txn.Commit(true); err != nil {
+		return 0, err
+	}
+	return charged, nil
+}
+
+func main() {
+	store := platform.NewMemStore()
+	archive := platform.NewMemArchive()
+	reg := tdb.NewRegistry()
+	reg.Register(licenseClass, func() tdb.Object { return &License{} })
+	reg.Register(accountClass, func() tdb.Object { return &Account{} })
+	reg.Register(auditClass, func() tdb.Object { return &AuditEvent{} })
+
+	db, err := tdb.Open(tdb.Options{
+		Store:    store,
+		Secret:   []byte("device-secret-for-drmstore-demo!"),
+		Registry: reg,
+		Archive:  archive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	pl := &player{db: db}
+
+	// Provision: three licenses with different contracts, $10 prepaid.
+	txn := db.Begin()
+	licenses, err := txn.CreateCollection("licenses", licByContent(), licByExpiry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	licenses.Insert(&License{ContentID: 1, Contract: PayPerView})
+	licenses.Insert(&License{ContentID: 2, Contract: FreeAfterTen})
+	licenses.Insert(&License{ContentID: 3, Contract: Subscription, ExpiryDay: 120})
+	accounts, err := txn.CreateCollection("accounts", acctByID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	accounts.Insert(&Account{ID: 1, BalanceCents: 2500})
+	if _, err := txn.CreateCollection("audit", auditLog()); err != nil {
+		log.Fatal(err)
+	}
+	if err := txn.Commit(true); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.BackupFull(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("provisioned licenses, $25.00 prepaid; full backup taken")
+
+	// A day of consumption.
+	day := int64(100)
+	for i := 0; i < 3; i++ {
+		c, err := pl.consume(1, day) // pay-per-view
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("watched content 1 (pay-per-view): charged %d¢\n", c)
+	}
+	for i := 0; i < 12; i++ {
+		c, err := pl.consume(2, day) // free after ten paid views
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 9 {
+			fmt.Printf("content 2 view %d: charged %d¢ (last paid view)\n", i+1, c)
+		} else if i == 10 {
+			fmt.Printf("content 2 view %d: charged %d¢ (now free!)\n", i+1, c)
+		}
+	}
+	if _, err := pl.consume(3, day); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("watched content 3 (subscription): free until day 120")
+	if _, err := pl.consume(3, 121); err == nil {
+		log.Fatal("expired subscription was honored")
+	} else {
+		fmt.Println("day 121:", err)
+	}
+
+	// Inventory: subscriptions expiring before day 130 (range query over
+	// the derived expiry key).
+	txn = db.Begin()
+	lh, _ := txn.ReadCollection("licenses")
+	it, err := lh.QueryRange(licByExpiry(), nil, tdb.IntKey(130))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it.Next() {
+		l, _ := tdb.ReadAs[*License](it)
+		fmt.Printf("subscription for content %d expires day %d\n", l.ContentID, l.ExpiryDay)
+	}
+	it.Close()
+
+	// Final balances + ordered audit trail.
+	ah, _ := txn.ReadCollection("accounts")
+	ait, _ := ah.QueryExact(acctByID(), tdb.IntKey(1))
+	ait.Next()
+	acct, _ := tdb.ReadAs[*Account](ait)
+	fmt.Printf("prepaid balance: %d¢ (spent %d¢)\n", acct.BalanceCents, 2500-acct.BalanceCents)
+	ait.Close()
+
+	au, _ := txn.ReadCollection("audit")
+	fmt.Printf("audit log holds %d events, first three:\n", au.Size())
+	lit, _ := au.Query(auditLog())
+	for i := 0; lit.Next() && i < 3; i++ {
+		e, _ := tdb.ReadAs[*AuditEvent](lit)
+		fmt.Printf("  #%d content %d charged %d¢\n", e.Seq, e.ContentID, e.Charged)
+	}
+	lit.Close()
+	txn.Abort()
+
+	// End of day: incremental backup — only today's changes travel.
+	info, err := db.BackupIncremental()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental backup %q: %d changed chunks\n", info.Name, info.Chunks)
+
+	if err := db.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("database verified: every byte authenticated")
+}

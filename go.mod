@@ -1,0 +1,3 @@
+module tdb
+
+go 1.23

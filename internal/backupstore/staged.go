@@ -1,0 +1,164 @@
+package backupstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"tdb/internal/platform"
+	"tdb/internal/sec"
+)
+
+// StagedArchive implements the deployment pattern §2 sketches: "a typical
+// implementation of the backup store may stage backups in the untrusted
+// store and opportunistically migrate them to a remote server." Backups are
+// written as ordinary files in a (local, untrusted) store and MigrateTo
+// copies completed streams to a remote archive when connectivity allows —
+// e.g., when the consumer device comes online.
+//
+// Staging locally is safe because backup streams are self-protecting:
+// encrypted chunk payloads, MACed header and trailer. A tampered staged
+// backup is rejected at migration or restore, never silently accepted.
+type StagedArchive struct {
+	store  platform.UntrustedStore
+	prefix string
+}
+
+// NewStagedArchive stages backup streams as files named prefix+name in the
+// given untrusted store.
+func NewStagedArchive(store platform.UntrustedStore, prefix string) *StagedArchive {
+	if prefix == "" {
+		prefix = "staged-"
+	}
+	return &StagedArchive{store: store, prefix: prefix}
+}
+
+// CreateStream implements platform.ArchivalStore.
+func (a *StagedArchive) CreateStream(name string) (platform.ArchivalStream, error) {
+	full := a.prefix + name
+	// Replace any previous staging attempt.
+	if err := a.store.Remove(full); err != nil && !errors.Is(err, platform.ErrNotFound) {
+		return nil, err
+	}
+	f, err := a.store.Create(full)
+	if err != nil {
+		return nil, err
+	}
+	return &stagedStream{file: f, writing: true}, nil
+}
+
+// OpenStream implements platform.ArchivalStore.
+func (a *StagedArchive) OpenStream(name string) (platform.ArchivalStream, error) {
+	f, err := a.store.Open(a.prefix + name)
+	if err != nil {
+		return nil, err
+	}
+	return &stagedStream{file: f}, nil
+}
+
+// RemoveStream implements platform.ArchivalStore.
+func (a *StagedArchive) RemoveStream(name string) error {
+	return a.store.Remove(a.prefix + name)
+}
+
+// ListStreams implements platform.ArchivalStore.
+func (a *StagedArchive) ListStreams() ([]string, error) {
+	names, err := a.store.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if rest, ok := strings.CutPrefix(n, a.prefix); ok {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
+// MigrateTo copies every staged stream to the remote archive, validating
+// each against the suite first (a corrupted staged backup is reported, not
+// propagated), and removes successfully migrated streams locally when
+// removeLocal is set. It returns the names migrated.
+func (a *StagedArchive) MigrateTo(remote platform.ArchivalStore, suite sec.Suite, removeLocal bool) ([]string, error) {
+	names, err := a.ListStreams()
+	if err != nil {
+		return nil, err
+	}
+	var migrated []string
+	for _, name := range names {
+		r, err := a.OpenStream(name)
+		if err != nil {
+			return migrated, err
+		}
+		raw, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			return migrated, err
+		}
+		// Validate before shipping: parseBackup checks header and trailer
+		// MACs end to end.
+		if _, _, err := parseBackup(raw, suite); err != nil {
+			return migrated, fmt.Errorf("staged backup %q failed validation: %w", name, err)
+		}
+		w, err := remote.CreateStream(name)
+		if err != nil {
+			return migrated, err
+		}
+		if _, err := w.Write(raw); err != nil {
+			w.Close()
+			return migrated, err
+		}
+		if err := w.Close(); err != nil {
+			return migrated, err
+		}
+		migrated = append(migrated, name)
+		if removeLocal {
+			if err := a.RemoveStream(name); err != nil {
+				return migrated, err
+			}
+		}
+	}
+	return migrated, nil
+}
+
+// stagedStream adapts a platform.File to the stream interface.
+type stagedStream struct {
+	file    platform.File
+	writing bool
+	off     int64
+	closed  bool
+}
+
+func (s *stagedStream) Read(p []byte) (int, error) {
+	if s.writing {
+		return 0, errors.New("backupstore: staged stream opened for writing")
+	}
+	n, err := s.file.ReadAt(p, s.off)
+	s.off += int64(n)
+	return n, err
+}
+
+func (s *stagedStream) Write(p []byte) (int, error) {
+	if !s.writing {
+		return 0, errors.New("backupstore: staged stream opened for reading")
+	}
+	n, err := s.file.WriteAt(p, s.off)
+	s.off += int64(n)
+	return n, err
+}
+
+func (s *stagedStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.writing {
+		if err := s.file.Sync(); err != nil {
+			s.file.Close()
+			return err
+		}
+	}
+	return s.file.Close()
+}

@@ -1,0 +1,199 @@
+package bdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// B-tree operations over fixed-size pages, updated in place. Internal
+// entries map a separator key to a child page number (stored as a 4-byte
+// value); child i covers keys from its separator up to the next separator.
+
+// childNum decodes an internal entry's child page number.
+func childNum(e kv) uint32 { return binary.BigEndian.Uint32(e.val) }
+
+func childVal(num uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], num)
+	return b[:]
+}
+
+// search returns the position of the first entry with key >= target.
+func search(entries []kv, key []byte) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child covering key: the last separator <= key.
+func childIndex(entries []kv, key []byte) int {
+	pos := search(entries, key)
+	if pos < len(entries) && bytes.Equal(entries[pos].key, key) {
+		return pos
+	}
+	if pos == 0 {
+		return 0
+	}
+	return pos - 1
+}
+
+// get returns the stored value for key.
+func (db *DB) get(key []byte) ([]byte, error) {
+	num := db.rootPage
+	for {
+		p, err := db.readPage(num)
+		if err != nil {
+			return nil, err
+		}
+		if p.typ == pageLeaf {
+			pos := search(p.entries, key)
+			if pos < len(p.entries) && bytes.Equal(p.entries[pos].key, key) {
+				return append([]byte(nil), p.entries[pos].val...), nil
+			}
+			return nil, fmt.Errorf("%w: %q in %q", ErrNotFound, key, db.name)
+		}
+		num = childNum(p.entries[childIndex(p.entries, key)])
+	}
+}
+
+// put inserts or replaces key's value, splitting pages as needed.
+func (db *DB) put(key, val []byte) error {
+	if 4+len(key)+len(val) > db.env.cfg.PageSize/2 {
+		return fmt.Errorf("bdb: record of %d bytes exceeds half the page size", 4+len(key)+len(val))
+	}
+	split, sepKey, newChild, err := db.putInto(db.rootPage, key, val)
+	if err != nil {
+		return err
+	}
+	if split {
+		oldRoot, err := db.readPage(db.rootPage)
+		if err != nil {
+			return err
+		}
+		var firstKey []byte
+		if len(oldRoot.entries) > 0 {
+			firstKey = oldRoot.entries[0].key
+		}
+		newRoot := db.allocPage(pageInternal)
+		newRoot.entries = []kv{
+			{key: append([]byte(nil), firstKey...), val: childVal(oldRoot.num)},
+			{key: append([]byte(nil), sepKey...), val: childVal(newChild)},
+		}
+		db.env.pool.markDirty(newRoot)
+		db.rootPage = newRoot.num
+		db.metaDirty = true
+	}
+	return nil
+}
+
+// putInto inserts into the subtree rooted at page num; on split, returns
+// the new right sibling's first key and page number.
+func (db *DB) putInto(num uint32, key, val []byte) (bool, []byte, uint32, error) {
+	p, err := db.readPage(num)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	if p.typ == pageLeaf {
+		pos := search(p.entries, key)
+		if pos < len(p.entries) && bytes.Equal(p.entries[pos].key, key) {
+			p.entries[pos].val = append([]byte(nil), val...)
+		} else {
+			p.entries = append(p.entries, kv{})
+			copy(p.entries[pos+1:], p.entries[pos:])
+			p.entries[pos] = kv{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+		}
+		db.env.pool.markDirty(p)
+		return db.maybeSplit(p)
+	}
+	ci := childIndex(p.entries, key)
+	split, sepKey, newChild, err := db.putInto(childNum(p.entries[ci]), key, val)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	if !split {
+		return false, nil, 0, nil
+	}
+	pos := ci + 1
+	p.entries = append(p.entries, kv{})
+	copy(p.entries[pos+1:], p.entries[pos:])
+	p.entries[pos] = kv{key: append([]byte(nil), sepKey...), val: childVal(newChild)}
+	db.env.pool.markDirty(p)
+	return db.maybeSplit(p)
+}
+
+// maybeSplit splits p when its serialization would overflow the page.
+func (db *DB) maybeSplit(p *page) (bool, []byte, uint32, error) {
+	if p.encodedSize() <= db.env.cfg.PageSize {
+		return false, nil, 0, nil
+	}
+	mid := len(p.entries) / 2
+	right := db.allocPage(p.typ)
+	right.entries = append([]kv(nil), p.entries[mid:]...)
+	right.next = p.next
+	sep := append([]byte(nil), right.entries[0].key...)
+	p.entries = p.entries[:mid:mid]
+	if p.typ == pageLeaf {
+		p.next = right.num
+	}
+	db.env.pool.markDirty(p)
+	db.env.pool.markDirty(right)
+	return true, sep, right.num, nil
+}
+
+// del removes key. Pages are not merged (like many embedded engines,
+// deleted space is reused by later inserts on the same page).
+func (db *DB) del(key []byte) error {
+	num := db.rootPage
+	for {
+		p, err := db.readPage(num)
+		if err != nil {
+			return err
+		}
+		if p.typ == pageLeaf {
+			pos := search(p.entries, key)
+			if pos >= len(p.entries) || !bytes.Equal(p.entries[pos].key, key) {
+				return fmt.Errorf("%w: %q in %q", ErrNotFound, key, db.name)
+			}
+			p.entries = append(p.entries[:pos], p.entries[pos+1:]...)
+			db.env.pool.markDirty(p)
+			return nil
+		}
+		num = childNum(p.entries[childIndex(p.entries, key)])
+	}
+}
+
+// scan visits all (key, value) pairs in key order.
+func (db *DB) scan(fn func(key, val []byte) error) error {
+	num := db.rootPage
+	for {
+		p, err := db.readPage(num)
+		if err != nil {
+			return err
+		}
+		if p.typ == pageLeaf {
+			break
+		}
+		num = childNum(p.entries[0])
+	}
+	for num != 0 {
+		p, err := db.readPage(num)
+		if err != nil {
+			return err
+		}
+		for _, e := range p.entries {
+			if err := fn(e.key, e.val); err != nil {
+				return err
+			}
+		}
+		num = p.next
+	}
+	return nil
+}

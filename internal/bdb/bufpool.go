@@ -1,0 +1,151 @@
+package bdb
+
+import "container/list"
+
+// bufPool is the shared page cache (the paper configures both systems with
+// a 4 MB cache, §7.2). Eviction of dirty pages writes them back in place —
+// the random-write traffic that distinguishes the conventional design from
+// TDB's log-structured one. Every FlushSyncEvery write-backs the data file
+// is synced, emulating the OS's lazy write-back of the file cache.
+type bufPool struct {
+	env   *Env
+	pages map[pageKey]*list.Element
+	lru   *list.List // front = most recently used
+	bytes int64
+	dirty int
+
+	writes        int64
+	reads         int64
+	sinceLastSync map[*DB]int
+}
+
+type pageKey struct {
+	db  *DB
+	num uint32
+}
+
+func newBufPool(env *Env) *bufPool {
+	return &bufPool{
+		env:           env,
+		pages:         make(map[pageKey]*list.Element),
+		lru:           list.New(),
+		sinceLastSync: make(map[*DB]int),
+	}
+}
+
+// get returns the page, reading it from the file on a miss.
+func (bp *bufPool) get(db *DB, num uint32) (*page, error) {
+	if elem, ok := bp.pages[pageKey{db, num}]; ok {
+		bp.lru.MoveToFront(elem)
+		return elem.Value.(*page), nil
+	}
+	p, err := db.readPageFromFile(num)
+	if err != nil {
+		return nil, err
+	}
+	bp.reads++
+	bp.put(p)
+	return p, nil
+}
+
+// put caches a page and enforces the budget.
+func (bp *bufPool) put(p *page) {
+	key := pageKey{p.db, p.num}
+	if elem, ok := bp.pages[key]; ok {
+		elem.Value = p
+		bp.lru.MoveToFront(elem)
+		return
+	}
+	bp.pages[key] = bp.lru.PushFront(p)
+	bp.bytes += int64(bp.env.cfg.PageSize)
+	if p.dirty {
+		bp.dirty++
+	}
+	bp.enforce()
+}
+
+// markDirty flags a page as modified.
+func (bp *bufPool) markDirty(p *page) {
+	if !p.dirty {
+		p.dirty = true
+		bp.dirty++
+	}
+}
+
+// enforce evicts LRU pages past the budget, writing back dirty ones.
+func (bp *bufPool) enforce() {
+	for bp.bytes > bp.env.cfg.CacheBytes {
+		elem := bp.lru.Back()
+		if elem == nil {
+			return
+		}
+		p := elem.Value.(*page)
+		if p.pinned {
+			// Pinned pages (current transaction working set) are skipped by
+			// moving them to the front; with a sane cache size this is rare.
+			bp.lru.MoveToFront(elem)
+			return
+		}
+		if p.dirty {
+			if err := bp.writeBackCounted(p); err != nil {
+				// Leave the page cached; the error will resurface at
+				// checkpoint time.
+				return
+			}
+		}
+		bp.lru.Remove(elem)
+		delete(bp.pages, pageKey{p.db, p.num})
+		bp.bytes -= int64(bp.env.cfg.PageSize)
+	}
+}
+
+// writeBackCounted writes back one dirty page and applies the emulated OS
+// sync cadence.
+func (bp *bufPool) writeBackCounted(p *page) error {
+	if err := p.db.writeBack(p); err != nil {
+		return err
+	}
+	bp.dirty--
+	bp.writes++
+	bp.sinceLastSync[p.db]++
+	if bp.sinceLastSync[p.db] >= bp.env.cfg.FlushSyncEvery {
+		bp.sinceLastSync[p.db] = 0
+		// WAL rule: the log reaches stable storage before the pages do.
+		if err := bp.env.wal.sync(); err != nil {
+			return err
+		}
+		if err := p.db.file.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushAll writes back every dirty page (checkpoint).
+func (bp *bufPool) flushAll() error {
+	for _, elem := range bp.pages {
+		p := elem.Value.(*page)
+		if p.dirty {
+			if err := p.db.writeBack(p); err != nil {
+				return err
+			}
+			bp.dirty--
+			bp.writes++
+		}
+	}
+	return nil
+}
+
+// drop discards a cached page without write-back (recovery undo reloads).
+func (bp *bufPool) drop(db *DB, num uint32) {
+	key := pageKey{db, num}
+	if elem, ok := bp.pages[key]; ok {
+		p := elem.Value.(*page)
+		if p.dirty {
+			bp.dirty--
+		}
+		bp.lru.Remove(elem)
+		delete(bp.pages, key)
+		bp.bytes -= int64(bp.env.cfg.PageSize)
+	}
+}

@@ -1,0 +1,159 @@
+package bdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"tdb/internal/platform"
+)
+
+func TestVariableSizedValues(t *testing.T) {
+	mem := platform.NewMemStore()
+	e := openEnv(t, mem)
+	defer e.Close()
+	db, _ := e.OpenDB("v")
+	txn := e.Begin()
+	sizes := []int{0, 1, 50, 200, 400}
+	for i, n := range sizes {
+		if err := txn.Put(db, key32(uint32(i)), bytes.Repeat([]byte{byte(n)}, n)); err != nil {
+			t.Fatalf("Put %d bytes: %v", n, err)
+		}
+	}
+	txn.Commit()
+	txn2 := e.Begin()
+	defer txn2.Abort()
+	for i, n := range sizes {
+		got, err := txn2.Get(db, key32(uint32(i)))
+		if err != nil || len(got) != n {
+			t.Fatalf("Get(%d): len=%d err=%v, want %d", i, len(got), err, n)
+		}
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	mem := platform.NewMemStore()
+	e := openEnv(t, mem) // 1024-byte pages
+	defer e.Close()
+	db, _ := e.OpenDB("v")
+	txn := e.Begin()
+	defer txn.Abort()
+	if err := txn.Put(db, key32(1), make([]byte, 600)); err == nil {
+		t.Fatal("record exceeding half a page accepted")
+	}
+}
+
+func TestVariableKeys(t *testing.T) {
+	mem := platform.NewMemStore()
+	e := openEnv(t, mem)
+	defer e.Close()
+	db, _ := e.OpenDB("k")
+	txn := e.Begin()
+	keys := [][]byte{{0}, []byte("a"), []byte("aa"), []byte("ab"), []byte("b"), bytes.Repeat([]byte("k"), 100)}
+	for i, k := range keys {
+		if err := txn.Put(db, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	txn.Commit()
+	txn2 := e.Begin()
+	defer txn2.Abort()
+	for i, k := range keys {
+		got, err := txn2.Get(db, k)
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q): %q, %v", k, got, err)
+		}
+	}
+	// Scan returns keys in byte order.
+	var prev []byte
+	db.scan(func(k, v []byte) error {
+		if prev != nil && bytes.Compare(k, prev) <= 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		return nil
+	})
+}
+
+func TestDeepTreeSplits(t *testing.T) {
+	// Enough 100-byte records on 1 KiB pages to force several levels of
+	// internal pages.
+	mem := platform.NewMemStore()
+	e := openEnv(t, mem)
+	defer e.Close()
+	db, _ := e.OpenDB("deep")
+	const n = 3000
+	for start := 0; start < n; start += 500 {
+		txn := e.Begin()
+		for i := start; i < start+500; i++ {
+			if err := txn.Put(db, key32(uint32(i)), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+				t.Fatalf("Put(%d): %v", i, err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	txn := e.Begin()
+	defer txn.Abort()
+	for _, i := range []uint32{0, 1, 499, 500, 1500, 2999} {
+		got, err := txn.Get(db, key32(i))
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+	}
+	if _, err := txn.Get(db, key32(n)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get beyond range: %v", err)
+	}
+	count := 0
+	db.scan(func(k, v []byte) error { count++; return nil })
+	if count != n {
+		t.Fatalf("scan saw %d of %d", count, n)
+	}
+}
+
+func TestRepeatedCrashRecoveryCycles(t *testing.T) {
+	mem := platform.NewMemStore()
+	want := map[uint32]string{}
+	for cycle := 0; cycle < 5; cycle++ {
+		e, err := Open(Config{Store: mem, CacheBytes: 16 << 10, PageSize: 1024})
+		if err != nil {
+			t.Fatalf("cycle %d: Open: %v", cycle, err)
+		}
+		db, _ := e.OpenDB("d")
+		txn := e.Begin()
+		for i := 0; i < 20; i++ {
+			id := uint32(cycle*20 + i)
+			v := fmt.Sprintf("c%d-%d", cycle, id)
+			if err := txn.Put(db, key32(id), []byte(v)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			want[id] = v
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		// Uncommitted tail, then power loss (no Close).
+		txn2 := e.Begin()
+		txn2.Put(db, key32(9999), []byte("ghost"))
+		mem.Crash()
+	}
+	e, err := Open(Config{Store: mem, CacheBytes: 16 << 10, PageSize: 1024})
+	if err != nil {
+		t.Fatalf("final Open: %v", err)
+	}
+	defer e.Close()
+	db, _ := e.OpenDB("d")
+	txn := e.Begin()
+	defer txn.Abort()
+	for id, v := range want {
+		got, err := txn.Get(db, key32(id))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%d): %q, %v; want %q", id, got, err, v)
+		}
+	}
+	if _, err := txn.Get(db, key32(9999)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost survived: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package bdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Database file layout: page 0 is the meta page (magic, root page number,
+// page count); B-tree pages follow. Pages are fixed size and updated in
+// place — the conventional storage model TDB's log-structured design is
+// contrasted against.
+
+const (
+	dbMagic = uint32(0xBDB0_0031)
+
+	pageLeaf     = byte(1)
+	pageInternal = byte(2)
+)
+
+// page is an in-memory B-tree page.
+type page struct {
+	db  *DB
+	num uint32
+	typ byte
+	// entries hold (key, value) in leaves and (separator, child page
+	// number as 4-byte value) in internal pages, sorted by key.
+	entries []kv
+	// next links leaves in key order.
+	next  uint32
+	dirty bool
+	// lruPos supports the buffer pool's clock; see bufpool.go.
+	pinned bool
+}
+
+type kv struct {
+	key []byte
+	val []byte
+}
+
+// encodedSize returns the page's serialized size (to detect splits).
+func (p *page) encodedSize() int {
+	size := 1 + 4 + 2 // type, next, count
+	for _, e := range p.entries {
+		size += 4 + len(e.key) + len(e.val)
+	}
+	return size
+}
+
+// encode serializes the page into a fixed-size buffer.
+func (p *page) encode(pageSize int) ([]byte, error) {
+	buf := make([]byte, pageSize)
+	buf[0] = p.typ
+	binary.BigEndian.PutUint32(buf[1:5], p.next)
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(p.entries)))
+	pos := 7
+	for _, e := range p.entries {
+		need := 4 + len(e.key) + len(e.val)
+		if pos+need > pageSize {
+			return nil, fmt.Errorf("bdb: page %d overflow (%d entries)", p.num, len(p.entries))
+		}
+		binary.BigEndian.PutUint16(buf[pos:pos+2], uint16(len(e.key)))
+		binary.BigEndian.PutUint16(buf[pos+2:pos+4], uint16(len(e.val)))
+		copy(buf[pos+4:], e.key)
+		copy(buf[pos+4+len(e.key):], e.val)
+		pos += need
+	}
+	return buf, nil
+}
+
+// decodePage parses a stored page.
+func decodePage(db *DB, num uint32, buf []byte) (*page, error) {
+	if len(buf) < 7 {
+		return nil, fmt.Errorf("bdb: short page %d", num)
+	}
+	p := &page{db: db, num: num, typ: buf[0], next: binary.BigEndian.Uint32(buf[1:5])}
+	if p.typ != pageLeaf && p.typ != pageInternal {
+		return nil, fmt.Errorf("bdb: page %d has invalid type %d", num, p.typ)
+	}
+	count := int(binary.BigEndian.Uint16(buf[5:7]))
+	pos := 7
+	for i := 0; i < count; i++ {
+		if pos+4 > len(buf) {
+			return nil, fmt.Errorf("bdb: page %d truncated entry %d", num, i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[pos : pos+2]))
+		vl := int(binary.BigEndian.Uint16(buf[pos+2 : pos+4]))
+		if pos+4+kl+vl > len(buf) {
+			return nil, fmt.Errorf("bdb: page %d truncated entry %d payload", num, i)
+		}
+		p.entries = append(p.entries, kv{
+			key: append([]byte(nil), buf[pos+4:pos+4+kl]...),
+			val: append([]byte(nil), buf[pos+4+kl:pos+4+kl+vl]...),
+		})
+		pos += 4 + kl + vl
+	}
+	return p, nil
+}
+
+// DB is one keyed database file (a single B-tree with a single index, the
+// Berkeley DB data model the paper describes in §7.1).
+type DB struct {
+	env  *Env
+	name string
+	file interface {
+		io.ReaderAt
+		io.WriterAt
+		Size() (int64, error)
+		Truncate(int64) error
+		Sync() error
+		Close() error
+	}
+	// rootPage and pageCount are the meta state.
+	rootPage  uint32
+	pageCount uint32
+	metaDirty bool
+}
+
+// format initializes a fresh file: meta page plus an empty leaf root, made
+// durable immediately so recovery always finds a valid base state to replay
+// the log onto.
+func (db *DB) format() error {
+	db.rootPage = 1
+	db.pageCount = 2
+	root := &page{db: db, num: 1, typ: pageLeaf, dirty: true}
+	db.env.pool.put(root)
+	if err := db.writeBack(root); err != nil {
+		return err
+	}
+	if err := db.writeMeta(); err != nil {
+		return err
+	}
+	return db.file.Sync()
+}
+
+// loadMeta reads the meta page.
+func (db *DB) loadMeta() error {
+	buf := make([]byte, 16)
+	if _, err := db.file.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("bdb: reading meta page of %q: %w", db.name, err)
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != dbMagic {
+		return fmt.Errorf("bdb: %q is not a database file", db.name)
+	}
+	db.rootPage = binary.BigEndian.Uint32(buf[4:8])
+	db.pageCount = binary.BigEndian.Uint32(buf[8:12])
+	return nil
+}
+
+// writeMeta persists the meta page (not synced; checkpoint syncs).
+func (db *DB) writeMeta() error {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint32(buf[0:4], dbMagic)
+	binary.BigEndian.PutUint32(buf[4:8], db.rootPage)
+	binary.BigEndian.PutUint32(buf[8:12], db.pageCount)
+	if _, err := db.file.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("bdb: writing meta page of %q: %w", db.name, err)
+	}
+	db.metaDirty = false
+	return nil
+}
+
+// allocPage assigns a new page number.
+func (db *DB) allocPage(typ byte) *page {
+	p := &page{db: db, num: db.pageCount, typ: typ, dirty: true}
+	db.pageCount++
+	db.metaDirty = true
+	db.env.pool.put(p)
+	return p
+}
+
+// readPage fetches a page through the buffer pool.
+func (db *DB) readPage(num uint32) (*page, error) {
+	return db.env.pool.get(db, num)
+}
+
+// writeBack writes a page image to the file (buffer pool eviction or
+// checkpoint).
+func (db *DB) writeBack(p *page) error {
+	buf, err := p.encode(db.env.cfg.PageSize)
+	if err != nil {
+		return err
+	}
+	off := int64(p.num) * int64(db.env.cfg.PageSize)
+	if _, err := db.file.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("bdb: writing page %d of %q: %w", p.num, db.name, err)
+	}
+	p.dirty = false
+	return nil
+}
+
+// readPageFromFile loads a page image bypassing the pool.
+func (db *DB) readPageFromFile(num uint32) (*page, error) {
+	buf := make([]byte, db.env.cfg.PageSize)
+	off := int64(num) * int64(db.env.cfg.PageSize)
+	if _, err := db.file.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("bdb: reading page %d of %q: %w", num, db.name, err)
+	}
+	return decodePage(db, num, buf)
+}

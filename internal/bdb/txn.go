@@ -1,0 +1,203 @@
+package bdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Txn is a transaction. Operations apply to the B-trees immediately (with
+// their log records appended to the WAL first); Commit appends a commit
+// record and syncs the log; Abort (and crash recovery) undoes effects with
+// the logged before images.
+type Txn struct {
+	env    *Env
+	id     uint64
+	active bool
+	// ops remembers this transaction's records for Abort undo.
+	ops []*walRecord
+}
+
+// Get returns the value stored under key.
+func (t *Txn) Get(db *DB, key []byte) ([]byte, error) {
+	t.env.mu.Lock()
+	defer t.env.mu.Unlock()
+	if !t.active {
+		return nil, ErrTxnDone
+	}
+	return db.get(key)
+}
+
+// Put inserts or updates key.
+func (t *Txn) Put(db *DB, key, val []byte) error {
+	t.env.mu.Lock()
+	defer t.env.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	rec := &walRecord{typ: walPut, txn: t.id, db: db.name, key: key, after: val}
+	if before, err := db.get(key); err == nil {
+		rec.hasBefore = true
+		rec.before = before
+	} else if !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	// WAL rule: the record reaches the log before the page is dirtied.
+	if err := t.env.wal.append(rec.encode()); err != nil {
+		return err
+	}
+	t.ops = append(t.ops, rec)
+	return db.put(key, val)
+}
+
+// Delete removes key.
+func (t *Txn) Delete(db *DB, key []byte) error {
+	t.env.mu.Lock()
+	defer t.env.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	before, err := db.get(key)
+	if err != nil {
+		return err
+	}
+	rec := &walRecord{typ: walDelete, txn: t.id, db: db.name, key: key, hasBefore: true, before: before}
+	if err := t.env.wal.append(rec.encode()); err != nil {
+		return err
+	}
+	t.ops = append(t.ops, rec)
+	return db.del(key)
+}
+
+// Commit makes the transaction durable: commit record appended, log synced
+// (write-through, as the paper configures).
+func (t *Txn) Commit() error {
+	t.env.mu.Lock()
+	defer t.env.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	commit := &walRecord{typ: walCommit, txn: t.id}
+	if err := t.env.wal.append(commit.encode()); err != nil {
+		return err
+	}
+	if err := t.env.wal.sync(); err != nil {
+		return err
+	}
+	t.active = false
+	t.ops = nil
+	return t.env.maybeCheckpoint()
+}
+
+// Abort undoes the transaction's effects using the logged before images.
+// The undo actions are themselves logged as compensation records and the
+// whole transaction is closed with a commit record (the classic CLR
+// technique): recovery then replays forward + compensation in order and the
+// net effect is a clean rollback, no matter which pages had been flushed.
+func (t *Txn) Abort() error {
+	t.env.mu.Lock()
+	defer t.env.mu.Unlock()
+	if !t.active {
+		return nil
+	}
+	t.active = false
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		orig := t.ops[i]
+		var comp *walRecord
+		switch {
+		case orig.typ == walPut && orig.hasBefore:
+			comp = &walRecord{typ: walPut, txn: t.id, db: orig.db, key: orig.key,
+				hasBefore: true, before: orig.after, after: orig.before}
+		case orig.typ == walPut:
+			comp = &walRecord{typ: walDelete, txn: t.id, db: orig.db, key: orig.key,
+				hasBefore: true, before: orig.after}
+		case orig.typ == walDelete:
+			comp = &walRecord{typ: walPut, txn: t.id, db: orig.db, key: orig.key, after: orig.before}
+		}
+		if err := t.env.wal.append(comp.encode()); err != nil {
+			return err
+		}
+		if err := t.env.redo(comp); err != nil {
+			return err
+		}
+	}
+	commit := &walRecord{typ: walCommit, txn: t.id}
+	if err := t.env.wal.append(commit.encode()); err != nil {
+		return err
+	}
+	t.ops = nil
+	return nil
+}
+
+// undo reverses one logged operation.
+func (e *Env) undo(rec *walRecord) error {
+	db, err := e.openDBLocked(rec.db)
+	if err != nil {
+		return err
+	}
+	switch rec.typ {
+	case walPut:
+		if rec.hasBefore {
+			return db.put(rec.key, rec.before)
+		}
+		if err := db.del(rec.key); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		return nil
+	case walDelete:
+		return db.put(rec.key, rec.before)
+	default:
+		return fmt.Errorf("bdb: cannot undo record type %d", rec.typ)
+	}
+}
+
+// redo re-applies one logged operation (logically idempotent).
+func (e *Env) redo(rec *walRecord) error {
+	db, err := e.openDBLocked(rec.db)
+	if err != nil {
+		return err
+	}
+	switch rec.typ {
+	case walPut:
+		return db.put(rec.key, rec.after)
+	case walDelete:
+		if err := db.del(rec.key); err != nil && !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("bdb: cannot redo record type %d", rec.typ)
+	}
+}
+
+// recover replays the log: committed transactions are redone in order,
+// uncommitted ones undone in reverse.
+func (e *Env) recover() error {
+	var all []*walRecord
+	committed := map[uint64]bool{}
+	err := e.wal.replay(func(rec *walRecord) error {
+		if rec.typ == walCommit {
+			committed[rec.txn] = true
+			return nil
+		}
+		all = append(all, rec)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, rec := range all {
+		if committed[rec.txn] {
+			if err := e.redo(rec); err != nil {
+				return err
+			}
+		}
+	}
+	for i := len(all) - 1; i >= 0; i-- {
+		if !committed[all[i].txn] {
+			if err := e.undo(all[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

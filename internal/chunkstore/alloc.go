@@ -1,0 +1,123 @@
+package chunkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// allocator hands out chunk ids. Ids are dense, starting at 1; deallocated
+// ids are recycled LIFO for determinism. Allocation itself is not logged: a
+// committed write record implies allocation, so ids handed out but never
+// written are transparently reclaimed by recovery.
+type allocator struct {
+	nextID uint64
+	// freeList recycles deallocated ids (LIFO); freeSet mirrors it for
+	// O(1) membership tests.
+	freeList []ChunkID
+	freeSet  map[ChunkID]struct{}
+}
+
+func newAllocator() *allocator {
+	return &allocator{nextID: 1, freeSet: make(map[ChunkID]struct{})}
+}
+
+// allocate returns an unused chunk id.
+func (a *allocator) allocate() ChunkID {
+	for n := len(a.freeList); n > 0; n = len(a.freeList) {
+		cid := a.freeList[n-1]
+		a.freeList = a.freeList[:n-1]
+		if _, ok := a.freeSet[cid]; ok {
+			delete(a.freeSet, cid)
+			return cid
+		}
+	}
+	cid := ChunkID(a.nextID)
+	a.nextID++
+	return cid
+}
+
+// isAllocated reports whether cid is currently allocated.
+func (a *allocator) isAllocated(cid ChunkID) bool {
+	if cid == 0 || uint64(cid) >= a.nextID {
+		return false
+	}
+	_, free := a.freeSet[cid]
+	return !free
+}
+
+// release returns cid to the free pool.
+func (a *allocator) release(cid ChunkID) {
+	if _, ok := a.freeSet[cid]; ok {
+		return
+	}
+	a.freeSet[cid] = struct{}{}
+	a.freeList = append(a.freeList, cid)
+}
+
+// noteWritten records that a committed write for cid was observed during
+// replay: the id is certainly allocated.
+func (a *allocator) noteWritten(cid ChunkID) {
+	if uint64(cid) >= a.nextID {
+		a.nextID = uint64(cid) + 1
+	}
+	if _, ok := a.freeSet[cid]; ok {
+		delete(a.freeSet, cid)
+		// Leave the stale entry in freeList; allocate() skips ids missing
+		// from freeSet.
+	}
+}
+
+// serialize encodes the allocator state for the checkpoint payload.
+func (a *allocator) serialize() []byte {
+	// The free list can hold stale entries (ids re-taken by replay) and
+	// duplicates (an id released, re-taken, and released again). Allocation
+	// pops from the tail, so keep the LAST occurrence of each live id to
+	// reproduce allocation order deterministically after recovery.
+	live := make([]ChunkID, 0, len(a.freeSet))
+	seen := make(map[ChunkID]struct{}, len(a.freeSet))
+	for i := len(a.freeList) - 1; i >= 0; i-- {
+		cid := a.freeList[i]
+		if _, ok := a.freeSet[cid]; !ok {
+			continue
+		}
+		if _, dup := seen[cid]; dup {
+			continue
+		}
+		seen[cid] = struct{}{}
+		live = append(live, cid)
+	}
+	out := make([]byte, 0, 8+4+8*len(live))
+	out = binary.BigEndian.AppendUint64(out, a.nextID)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(live)))
+	for i := len(live) - 1; i >= 0; i-- { // restore original (FIFO) order
+		out = binary.BigEndian.AppendUint64(out, uint64(live[i]))
+	}
+	return out
+}
+
+// deserializeAllocator decodes a checkpoint's allocator state.
+func deserializeAllocator(data []byte) (*allocator, int, error) {
+	if len(data) < 12 {
+		return nil, 0, fmt.Errorf("chunkstore: short allocator state")
+	}
+	a := newAllocator()
+	a.nextID = binary.BigEndian.Uint64(data[0:8])
+	if a.nextID == 0 {
+		return nil, 0, fmt.Errorf("chunkstore: invalid allocator nextID 0")
+	}
+	n := int(binary.BigEndian.Uint32(data[8:12]))
+	pos := 12
+	if len(data) < pos+8*n {
+		return nil, 0, fmt.Errorf("chunkstore: truncated allocator free list")
+	}
+	for i := 0; i < n; i++ {
+		cid := ChunkID(binary.BigEndian.Uint64(data[pos : pos+8]))
+		pos += 8
+		if cid == 0 || uint64(cid) >= a.nextID {
+			return nil, 0, fmt.Errorf("chunkstore: free list id %d out of range", cid)
+		}
+		a.freeSet[cid] = struct{}{}
+		a.freeList = append(a.freeList, cid)
+	}
+	return a, pos, nil
+}

@@ -1,0 +1,163 @@
+package chunkstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// auditConsistency recomputes, from the log and map, the invariants the
+// store maintains incrementally, and fails the test on divergence.
+func auditConsistency(t *testing.T, s *Store, tag string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// 1. freeSet ids must have empty map entries.
+	for cid := range s.alloc.freeSet {
+		e, err := s.lm.get(cid)
+		if err != nil {
+			t.Fatalf("%s: audit get(%d): %v", tag, cid, err)
+		}
+		if !e.isEmpty() {
+			t.Fatalf("%s: free id %d has live map entry %v", tag, cid, e.loc)
+		}
+	}
+	// 2. recompute per-segment live bytes from the map and compare. The walk
+	// loads uncached nodes, so it covers the whole tree even under cache
+	// pressure.
+	want := map[uint64]int64{}
+	var walkNodes func(n *mapNode) error
+	walkNodes = func(n *mapNode) error {
+		if !n.loc.IsZero() {
+			want[n.loc.Seg] += int64(n.loc.Len)
+		}
+		if n.level == 0 {
+			for _, e := range n.entries {
+				if !e.isEmpty() {
+					want[e.loc.Seg] += int64(e.loc.Len)
+				}
+			}
+			return nil
+		}
+		for i := range n.entries {
+			kid := n.kids[i]
+			if kid == nil {
+				if n.entries[i].isEmpty() {
+					continue
+				}
+				var err error
+				kid, err = s.lm.loadChild(n, i)
+				if err != nil {
+					return err
+				}
+			}
+			if err := walkNodes(kid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walkNodes(s.lm.root); err != nil {
+		t.Fatalf("%s: audit walk: %v", tag, err)
+	}
+	bad := false
+	for num, seg := range s.segs.segs {
+		if seg.live != want[num] {
+			t.Logf("%s: segment %d live=%d, recomputed=%d (size=%d sealed=%v)", tag, num, seg.live, want[num], seg.size, seg.sealed)
+			bad = true
+		}
+	}
+	if bad {
+		t.Logf("lastCkpt=%v tail=%d commitSeq=%d", s.lastCkpt, s.segs.tail.num, s.commitSeq)
+		for _, num := range s.segs.numbers() {
+			seg := s.segs.segs[num]
+			t.Logf("  seg %d size=%d live=%d want=%d", num, seg.size, seg.live, want[num])
+		}
+		t.FailNow()
+	}
+}
+
+func TestAuditedModelWorkload(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runAuditedWorkload(t, seed)
+		})
+	}
+}
+
+// recomputeNodeHashFresh computes a node's hash from scratch, ignoring all
+// memos, loading children as needed.
+func recomputeNodeHashFresh(t *testing.T, s *Store, n *mapNode) []byte {
+	t.Helper()
+	if n.level > 0 {
+		for i := range n.entries {
+			kid := n.kids[i]
+			if kid == nil && !n.entries[i].isEmpty() {
+				var err error
+				kid, err = s.lm.loadChild(n, i)
+				if err != nil {
+					t.Fatalf("audit loadChild: %v", err)
+				}
+			}
+			if kid != nil {
+				h := recomputeNodeHashFresh(t, s, kid)
+				cp := n.entries[i]
+				cp.hash = h
+				cp.loc = kid.loc
+				if !sec2Equal(cp.hash, n.entries[i].hash) || cp.loc != n.entries[i].loc {
+					t.Fatalf("audit: node (%d,%d) entry %d stale: loc %v vs %v", n.level, n.index, i, n.entries[i].loc, kid.loc)
+				}
+			}
+		}
+	}
+	return s.suite.Hash(n.serialize())
+}
+
+func sec2Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// auditRootHash compares the memoized root hash with a from-scratch
+// recomputation.
+func auditRootHash(t *testing.T, s *Store, tag string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	memo := s.lm.rootHash()
+	fresh := recomputeNodeHashFresh(t, s, s.lm.root)
+	if !sec2Equal(memo, fresh) {
+		t.Fatalf("%s: memoized root hash diverges from fresh recomputation", tag)
+	}
+}
+
+// auditMemoHashes walks all cached nodes checking memo hash == H(serialize)
+// whenever hashStale is false.
+func auditMemoHashes(t *testing.T, s *Store, tag string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var walk func(n *mapNode)
+	walk = func(n *mapNode) {
+		if !n.hashStale && n.hash != nil {
+			if !sec2Equal(n.hash, s.suite.Hash(n.serialize())) {
+				t.Errorf("%s: node (%d,%d) memo hash stale (dirty=%v)", tag, n.level, n.index, n.dirty)
+			}
+		}
+		for _, kid := range n.kids {
+			if kid != nil {
+				walk(kid)
+			}
+		}
+	}
+	walk(s.lm.root)
+	if t.Failed() {
+		t.FailNow()
+	}
+}

@@ -1,0 +1,325 @@
+package chunkstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tdb/internal/platform"
+	"tdb/internal/sec"
+)
+
+// The superblock is a tiny file holding, in two ping-pong slots, a MACed
+// pointer to the latest checkpoint record plus the database's immutable
+// format parameters. It is rewritten only at checkpoints; per-commit state
+// is anchored by the MACed commit records in the log itself.
+const (
+	superblockName = "superblock"
+	superMagic     = uint64(0x5444425355500001) // "TDBSUP\x00\x01"
+	superSlotSize  = 512
+	formatVersion  = 1
+)
+
+var errNoSuperblock = errors.New("chunkstore: no superblock")
+
+// superblock is the decoded superblock content.
+type superblock struct {
+	seq         uint64
+	suiteName   string
+	fanout      int
+	segmentSize int
+	ckptLoc     Location
+}
+
+// encodeSuperPayload serializes the MAC-covered portion of a slot.
+func encodeSuperPayload(sb superblock) []byte {
+	out := make([]byte, 0, 64)
+	out = binary.BigEndian.AppendUint64(out, superMagic)
+	out = binary.BigEndian.AppendUint64(out, sb.seq)
+	out = binary.BigEndian.AppendUint16(out, formatVersion)
+	out = append(out, byte(len(sb.suiteName)))
+	out = append(out, sb.suiteName...)
+	out = binary.BigEndian.AppendUint32(out, uint32(sb.fanout))
+	out = binary.BigEndian.AppendUint32(out, uint32(sb.segmentSize))
+	out = binary.BigEndian.AppendUint64(out, sb.ckptLoc.Seg)
+	out = binary.BigEndian.AppendUint32(out, sb.ckptLoc.Off)
+	out = binary.BigEndian.AppendUint32(out, sb.ckptLoc.Len)
+	return out
+}
+
+// decodeSuperSlot parses one slot, verifying its MAC. ok is false for slots
+// that are empty, malformed, or fail authentication.
+func decodeSuperSlot(slot []byte, suite sec.Suite) (superblock, bool) {
+	var sb superblock
+	if len(slot) < 4 {
+		return sb, false
+	}
+	plen := int(binary.BigEndian.Uint16(slot[0:2]))
+	mlen := int(binary.BigEndian.Uint16(slot[2:4]))
+	if plen == 0 || 4+plen+mlen > len(slot) {
+		return sb, false
+	}
+	payload := slot[4 : 4+plen]
+	mac := slot[4+plen : 4+plen+mlen]
+	if !sec.VerifyMAC(suite, payload, mac) {
+		return sb, false
+	}
+	if len(payload) < 19 {
+		return sb, false
+	}
+	if binary.BigEndian.Uint64(payload[0:8]) != superMagic {
+		return sb, false
+	}
+	sb.seq = binary.BigEndian.Uint64(payload[8:16])
+	if binary.BigEndian.Uint16(payload[16:18]) != formatVersion {
+		return sb, false
+	}
+	nameLen := int(payload[18])
+	if len(payload) < 19+nameLen+24 {
+		return sb, false
+	}
+	sb.suiteName = string(payload[19 : 19+nameLen])
+	p := 19 + nameLen
+	sb.fanout = int(binary.BigEndian.Uint32(payload[p : p+4]))
+	sb.segmentSize = int(binary.BigEndian.Uint32(payload[p+4 : p+8]))
+	sb.ckptLoc.Seg = binary.BigEndian.Uint64(payload[p+8 : p+16])
+	sb.ckptLoc.Off = binary.BigEndian.Uint32(payload[p+16 : p+20])
+	sb.ckptLoc.Len = binary.BigEndian.Uint32(payload[p+20 : p+24])
+	return sb, true
+}
+
+// readSuperblock loads and authenticates the superblock, returning
+// errNoSuperblock for a fresh store.
+func (s *Store) readSuperblock() (superblock, error) {
+	f, err := s.cfg.Store.Open(superblockName)
+	if errors.Is(err, platform.ErrNotFound) {
+		return superblock{}, errNoSuperblock
+	}
+	if err != nil {
+		return superblock{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, 2*superSlotSize)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return superblock{}, fmt.Errorf("chunkstore: reading superblock: %w", err)
+	}
+	sb0, ok0 := decodeSuperSlot(buf[:superSlotSize], s.suite)
+	sb1, ok1 := decodeSuperSlot(buf[superSlotSize:], s.suite)
+	switch {
+	case ok0 && ok1:
+		if sb1.seq > sb0.seq {
+			s.superSeq = sb1.seq
+			return sb1, nil
+		}
+		s.superSeq = sb0.seq
+		return sb0, nil
+	case ok0:
+		s.superSeq = sb0.seq
+		return sb0, nil
+	case ok1:
+		s.superSeq = sb1.seq
+		return sb1, nil
+	default:
+		return superblock{}, fmt.Errorf("%w: superblock fails validation", ErrTampered)
+	}
+}
+
+// writeSuperblock publishes a new checkpoint pointer into the alternate
+// slot and syncs.
+func (s *Store) writeSuperblock(ckptLoc Location) error {
+	s.superSeq++
+	sb := superblock{
+		seq:         s.superSeq,
+		suiteName:   s.suite.Name(),
+		fanout:      s.cfg.Fanout,
+		segmentSize: s.cfg.SegmentSize,
+		ckptLoc:     ckptLoc,
+	}
+	payload := encodeSuperPayload(sb)
+	mac := s.suite.MAC(payload)
+	slot := make([]byte, superSlotSize)
+	binary.BigEndian.PutUint16(slot[0:2], uint16(len(payload)))
+	binary.BigEndian.PutUint16(slot[2:4], uint16(len(mac)))
+	copy(slot[4:], payload)
+	copy(slot[4+len(payload):], mac)
+
+	f, err := s.cfg.Store.Open(superblockName)
+	if errors.Is(err, platform.ErrNotFound) {
+		f, err = s.cfg.Store.Create(superblockName)
+	}
+	if err != nil {
+		return fmt.Errorf("chunkstore: opening superblock: %w", err)
+	}
+	defer f.Close()
+	off := int64(s.superSeq%2) * superSlotSize
+	if _, err := f.WriteAt(slot, off); err != nil {
+		return fmt.Errorf("chunkstore: writing superblock: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("chunkstore: syncing superblock: %w", err)
+	}
+	return nil
+}
+
+// checkpointPayload is the decoded checkpoint record content.
+type ckptPayload struct {
+	// seqNext is the commit sequence number of the checkpoint's own commit
+	// record; recovery validates the scan against it.
+	seqNext  uint64
+	height   int
+	rootLoc  Location
+	rootHash []byte
+	alloc    *allocator
+	// segLive maps segment number to live bytes at checkpoint time.
+	segLive map[uint64]int64
+}
+
+func encodeCkptPayload(p ckptPayload) []byte {
+	out := make([]byte, 0, 64+16*len(p.segLive))
+	out = binary.BigEndian.AppendUint64(out, p.seqNext)
+	out = append(out, byte(p.height))
+	out = binary.BigEndian.AppendUint64(out, p.rootLoc.Seg)
+	out = binary.BigEndian.AppendUint32(out, p.rootLoc.Off)
+	out = binary.BigEndian.AppendUint32(out, p.rootLoc.Len)
+	out = append(out, byte(len(p.rootHash)))
+	out = append(out, p.rootHash...)
+	out = append(out, p.alloc.serialize()...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.segLive)))
+	// Deterministic order is unnecessary for correctness but keeps the
+	// encoding reproducible for tests.
+	nums := make([]uint64, 0, len(p.segLive))
+	for n := range p.segLive {
+		nums = append(nums, n)
+	}
+	for i := 1; i < len(nums); i++ {
+		for j := i; j > 0 && nums[j-1] > nums[j]; j-- {
+			nums[j-1], nums[j] = nums[j], nums[j-1]
+		}
+	}
+	for _, n := range nums {
+		out = binary.BigEndian.AppendUint64(out, n)
+		out = binary.BigEndian.AppendUint64(out, uint64(p.segLive[n]))
+	}
+	return out
+}
+
+func decodeCkptPayload(data []byte) (ckptPayload, error) {
+	var p ckptPayload
+	if len(data) < 26 {
+		return p, fmt.Errorf("chunkstore: short checkpoint payload")
+	}
+	p.seqNext = binary.BigEndian.Uint64(data[0:8])
+	p.height = int(data[8])
+	p.rootLoc.Seg = binary.BigEndian.Uint64(data[9:17])
+	p.rootLoc.Off = binary.BigEndian.Uint32(data[17:21])
+	p.rootLoc.Len = binary.BigEndian.Uint32(data[21:25])
+	hashLen := int(data[25])
+	pos := 26
+	if len(data) < pos+hashLen {
+		return p, fmt.Errorf("chunkstore: truncated checkpoint root hash")
+	}
+	p.rootHash = append([]byte(nil), data[pos:pos+hashLen]...)
+	pos += hashLen
+	alloc, n, err := deserializeAllocator(data[pos:])
+	if err != nil {
+		return p, err
+	}
+	p.alloc = alloc
+	pos += n
+	if len(data) < pos+4 {
+		return p, fmt.Errorf("chunkstore: truncated checkpoint segment table")
+	}
+	count := int(binary.BigEndian.Uint32(data[pos : pos+4]))
+	pos += 4
+	if len(data) < pos+16*count {
+		return p, fmt.Errorf("chunkstore: truncated checkpoint segment table entries")
+	}
+	p.segLive = make(map[uint64]int64, count)
+	for i := 0; i < count; i++ {
+		num := binary.BigEndian.Uint64(data[pos : pos+8])
+		live := int64(binary.BigEndian.Uint64(data[pos+8 : pos+16]))
+		if live < 0 {
+			return p, fmt.Errorf("chunkstore: negative live bytes for segment %d", num)
+		}
+		p.segLive[num] = live
+		pos += 16
+	}
+	if pos != len(data) {
+		return p, fmt.Errorf("chunkstore: %d trailing bytes in checkpoint payload", len(data)-pos)
+	}
+	return p, nil
+}
+
+// checkpointLocked writes all dirty location map nodes to the log, appends
+// a checkpoint record and a durable commit, and publishes the checkpoint in
+// the superblock. This bounds the residual log that recovery must replay
+// (paper §3.2.1).
+func (s *Store) checkpointLocked() error {
+	dirty := s.lm.dirtyNodes() // post-order: children before parents
+	ivSeq := (s.commitSeq + 1) << 20
+	for i, n := range dirty {
+		// Refresh inner entries so the serialization carries children's
+		// latest stored locations and content hashes.
+		if n.level > 0 {
+			for j, kid := range n.kids {
+				if kid != nil {
+					n.entries[j] = entry{loc: kid.loc, hash: append([]byte(nil), s.lm.nodeHash(kid)...)}
+				}
+			}
+		}
+		plain := n.serialize()
+		ciphertext, err := s.suite.Encrypt(plain, ivSeq|uint64(i&0xfffff))
+		if err != nil {
+			return fmt.Errorf("chunkstore: encrypting map node: %w", err)
+		}
+		rec := encodeRecord(recMapNode, mapNodeRecordBody(n.level, n.index, ciphertext))
+		loc, err := s.segs.append(rec, s.cfg.SegmentSize)
+		if err != nil {
+			return err
+		}
+		s.adjustLive(loc, int64(loc.Len))
+		if !n.loc.IsZero() {
+			s.adjustLive(n.loc, -int64(n.loc.Len))
+		}
+		s.residualBytes += int64(loc.Len)
+		n.loc = loc
+		n.dirty = false
+		n.hash = s.suite.Hash(plain)
+		n.hashStale = false
+	}
+	// With children refreshed bottom-up, the root hash is now current.
+	rootHash := s.lm.rootHash()
+
+	segLive := make(map[uint64]int64, len(s.segs.segs))
+	for num, seg := range s.segs.segs {
+		segLive[num] = seg.live
+	}
+	payload := encodeCkptPayload(ckptPayload{
+		seqNext:  s.commitSeq + 1,
+		height:   s.lm.height,
+		rootLoc:  s.lm.root.loc,
+		rootHash: rootHash,
+		alloc:    s.alloc,
+		segLive:  segLive,
+	})
+	ciphertext, err := s.suite.Encrypt(payload, ivSeq|0xffffe)
+	if err != nil {
+		return fmt.Errorf("chunkstore: encrypting checkpoint: %w", err)
+	}
+	rec := encodeRecord(recCheckpoint, checkpointRecordBody(s.suite.MAC(ciphertext), ciphertext))
+	ckptLoc, err := s.segs.append(rec, s.cfg.SegmentSize)
+	if err != nil {
+		return err
+	}
+	if err := s.appendCommitRecord(true, nil); err != nil {
+		return err
+	}
+	if err := s.writeSuperblock(ckptLoc); err != nil {
+		return err
+	}
+	s.lastCkpt = ckptLoc
+	s.residualBytes = 0
+	s.statCheckpoints++
+	return nil
+}

@@ -1,0 +1,88 @@
+// Package chunkstore implements TDB's lowest and most distinctive layer: a
+// log-structured store of variable-sized byte sequences ("chunks") on
+// untrusted storage (paper §3).
+//
+// The chunk store guarantees that chunks cannot be read by unauthorized
+// programs (every chunk is encrypted with a key derived from the device
+// secret) and that tampering — including replay of a stale database copy —
+// is detected. Tamper detection hashes the entire database with a Merkle
+// tree [27] that is embedded in the chunk location map, so maintaining the
+// map costs no extra hashing; the signed tree root and the value of a
+// one-way counter anchor the current state.
+//
+// Unlike conventional database stores, the log is the primary and only
+// storage: chunks never exist outside the log (§3.2.1). Commits append
+// chunk versions to the log tail; a hierarchical location map (a tree of
+// chunks, itself stored in the log at checkpoints) tracks current versions;
+// a cleaner reclaims segments dominated by obsolete versions, bounding
+// database size at a configurable utilization; recovery replays the
+// residual log written since the last checkpoint.
+package chunkstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChunkID names a chunk. Ids are allocated densely starting at 1; id 0 is
+// never allocated.
+type ChunkID uint64
+
+// Location places a stored chunk version in the log.
+type Location struct {
+	// Seg is the segment number (1-based; 0 means "no location").
+	Seg uint64
+	// Off is the byte offset of the record header within the segment file.
+	Off uint32
+	// Len is the total record length in bytes, header included.
+	Len uint32
+}
+
+// IsZero reports whether the location is unset.
+func (l Location) IsZero() bool { return l.Seg == 0 }
+
+func (l Location) String() string {
+	return fmt.Sprintf("seg %d @%d +%d", l.Seg, l.Off, l.Len)
+}
+
+// Errors reported by the chunk store.
+var (
+	// ErrTampered is the tamper-detection signal (paper §3): validation of a
+	// chunk, the location map, the anchor, or the one-way counter failed.
+	ErrTampered = errors.New("chunkstore: tamper detected")
+	// ErrNotAllocated is returned for operations on chunk ids that are not
+	// allocated.
+	ErrNotAllocated = errors.New("chunkstore: chunk id not allocated")
+	// ErrNotWritten is returned when reading a chunk id that was allocated
+	// but never written.
+	ErrNotWritten = errors.New("chunkstore: chunk not written")
+	// ErrClosed is returned for operations on a closed store.
+	ErrClosed = errors.New("chunkstore: store is closed")
+	// ErrSnapshotClosed is returned for operations on a closed snapshot.
+	ErrSnapshotClosed = errors.New("chunkstore: snapshot is closed")
+)
+
+// Stats reports operational counters and sizes of a store.
+type Stats struct {
+	// Segments is the number of live segment files.
+	Segments int
+	// DiskBytes is the total size of all segment files.
+	DiskBytes int64
+	// LiveBytes is the number of bytes occupied by current chunk versions
+	// (including the stored copies of location map nodes).
+	LiveBytes int64
+	// Utilization is LiveBytes/DiskBytes (0 when empty).
+	Utilization float64
+	// Chunks is the number of allocated-and-written chunks.
+	Chunks int64
+	// CommitSeq is the sequence number of the most recent commit.
+	CommitSeq uint64
+	// Cleanings counts cleaner passes; CleanedBytes counts bytes of live
+	// data the cleaner copied forward.
+	Cleanings    int64
+	CleanedBytes int64
+	// Checkpoints counts checkpoint operations.
+	Checkpoints int64
+	// CacheBytes is the memory accounted to cached map nodes.
+	CacheBytes int64
+}

@@ -1,0 +1,321 @@
+package chunkstore
+
+import (
+	"fmt"
+
+	"tdb/internal/sec"
+)
+
+// The log cleaner (paper §3.2.1). Obsolete chunk versions accumulate in old
+// segments as chunks are rewritten; the cleaner copies the still-live
+// records of victim segments to the log tail and frees the victims,
+// bounding database size at the configured utilization. Cleaning cost grows
+// steeply with utilization — the effect Figure 11 measures.
+//
+// Safety: a segment is freed only after (a) every live record in it has
+// been copied to the tail and (b) a checkpoint has durably committed the
+// copies and the relocated location map. This also subsumes the paper's
+// nondurable-commit pin (§3.2.2): versions obsoleted by a nondurable commit
+// are never reclaimed before the next durable commit, because cleaning
+// itself ends in a durable checkpoint.
+
+// targetDiskBytes returns the permitted total log size for the current
+// amount of live data.
+func (s *Store) targetDiskBytes() int64 {
+	live := s.segs.totalLive()
+	target := int64(float64(live) / s.cfg.MaxUtilization)
+	// Always allow slack of two segments so a small database does not
+	// thrash.
+	slack := int64(2 * s.cfg.SegmentSize)
+	if target < slack {
+		target = slack
+	}
+	return target + int64(s.cfg.SegmentSize)
+}
+
+// cleanTriggerBytes returns the size at which post-commit cleaning starts.
+// The gap above targetDiskBytes provides hysteresis: each cleaning cycle
+// ends with a (costly) checkpoint, so cycles must be infrequent and do a
+// batch of work, not fire on every commit that nudges past the target.
+func (s *Store) cleanTriggerBytes() int64 {
+	target := s.targetDiskBytes()
+	slack := target / 4
+	if min := int64(8 * s.cfg.SegmentSize); slack < min {
+		slack = min
+	}
+	return target + slack
+}
+
+// cleanLocked runs one cleaning cycle: it evacuates victim segments until
+// the store fits its size target (or the copy budget runs out), then
+// durably publishes all relocations with a single checkpoint and frees the
+// victims. Batching many victims under one checkpoint matters: each
+// checkpoint rewrites the dirty location map, so per-victim checkpoints
+// would dominate the write volume. In aggressive (idle) mode the cycle
+// compacts every segment holding garbage, regardless of the size target.
+func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
+	if !aggressive && s.segs.totalSize() <= s.cleanTriggerBytes() {
+		return nil
+	}
+	var victims []uint64
+	chosen := map[uint64]bool{}
+	var freedPlanned int64
+	checkpointed := false
+	for copyBudget > 0 && len(victims) < 64 {
+		if !aggressive && s.segs.totalSize()-freedPlanned <= s.targetDiskBytes() {
+			break
+		}
+		num, ok, blocked := s.pickVictim(aggressive, chosen)
+		if !ok {
+			if !blocked || checkpointed {
+				break
+			}
+			// Eligible garbage exists but lies at or after the last
+			// checkpoint; one checkpoint unblocks it.
+			if err := s.checkpointLocked(); err != nil {
+				return err
+			}
+			checkpointed = true
+			continue
+		}
+		seg := s.segs.segs[num]
+		liveBefore := seg.live
+		if err := s.evacuate(seg); err != nil {
+			return err
+		}
+		copyBudget -= liveBefore
+		chosen[num] = true
+		victims = append(victims, num)
+		freedPlanned += seg.size
+		s.statCleanings++
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	// Durably publish the relocations, then free the victims.
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	for _, num := range victims {
+		seg := s.segs.segs[num]
+		if seg == nil {
+			continue
+		}
+		if seg.live != 0 {
+			return fmt.Errorf("chunkstore: victim segment %d still has %d live bytes", num, seg.live)
+		}
+		if err := s.segs.free(num); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minPinnedSegment returns the lowest segment number that open snapshots
+// still pin (everything at or below their creation tail), or MaxUint64 when
+// no snapshot is open.
+func (s *Store) minPinnedSegment() uint64 {
+	pin := uint64(1<<63 - 1)
+	first := true
+	for snap := range s.snapshots {
+		if first || snap.tailSeg < pin {
+			pin = snap.tailSeg
+			first = false
+		}
+	}
+	if first {
+		return ^uint64(0)
+	}
+	return pin
+}
+
+// pickVictim selects the lowest-utilization eligible segment not yet
+// chosen. blocked reports that garbage exists but only at or after the last
+// checkpoint (recovery could still replay from it, so it cannot be freed
+// until a checkpoint advances past it).
+func (s *Store) pickVictim(aggressive bool, chosen map[uint64]bool) (uint64, bool, bool) {
+	pin := s.minPinnedSegment()
+	best := uint64(0)
+	bestUtil := 2.0
+	blocked := false
+	for num, seg := range s.segs.segs {
+		if chosen[num] || !seg.sealed || (pin != ^uint64(0) && num <= pin) {
+			continue
+		}
+		if seg.live >= seg.size-segHeaderSize {
+			continue // fully live: evacuation would only rewrite data
+		}
+		// Profitability bound: evacuating a segment denser than the target
+		// utilization costs more in copies than it frees; let it decay
+		// first. Idle (aggressive) compaction takes anything with garbage.
+		if !aggressive && float64(seg.live) > s.cfg.MaxUtilization*float64(seg.size) {
+			continue
+		}
+		if num >= s.lastCkpt.Seg {
+			blocked = true
+			continue
+		}
+		util := float64(seg.live) / float64(seg.size)
+		if util < bestUtil || (util == bestUtil && num < best) {
+			best, bestUtil = num, util
+		}
+	}
+	if bestUtil > 1.5 {
+		return 0, false, blocked
+	}
+	return best, true, false
+}
+
+// evacuate copies every live record of seg to the log tail, updating the
+// location map. Records are validated before copying so that tampering in
+// cold segments is caught rather than propagated.
+func (s *Store) evacuate(seg *segment) error {
+	start := position{seg: seg.num, off: segHeaderSize}
+	copied := int64(0)
+	_, err := s.scanLog(start, func(loc Location, typ byte, body []byte) (bool, error) {
+		if loc.Seg != seg.num {
+			return false, nil
+		}
+		switch typ {
+		case recWrite:
+			cid, ciphertext, err := parseWriteRecord(body)
+			if err != nil {
+				return false, fmt.Errorf("%w: %v", ErrTampered, err)
+			}
+			cur, err := s.lm.get(cid)
+			if err != nil {
+				return false, err
+			}
+			if cur.loc != loc {
+				return true, nil // obsolete version
+			}
+			if !sec.HashEqual(s.suite.Hash(ciphertext), cur.hash) {
+				return false, fmt.Errorf("%w: chunk %d fails validation during cleaning", ErrTampered, cid)
+			}
+			// Copy the record verbatim: the ciphertext (and thus the hash)
+			// is unchanged, only the location moves.
+			rec := encodeRecord(recWrite, body)
+			newLoc, err := s.segs.append(rec, s.cfg.SegmentSize)
+			if err != nil {
+				return false, err
+			}
+			if _, err := s.lm.set(cid, entry{loc: newLoc, hash: cur.hash}); err != nil {
+				return false, err
+			}
+			s.adjustLive(newLoc, int64(newLoc.Len))
+			s.adjustLive(loc, -int64(loc.Len))
+			s.residualBytes += int64(newLoc.Len)
+			copied += int64(newLoc.Len)
+		case recMapNode:
+			level, index, ciphertext, err := parseMapNodeRecord(body)
+			if err != nil {
+				return false, fmt.Errorf("%w: %v", ErrTampered, err)
+			}
+			live, err := s.nodeLiveAt(level, index, loc)
+			if err != nil {
+				return false, err
+			}
+			if !live {
+				return true, nil
+			}
+			// Validate the stored copy, then relocate the node by writing
+			// its CURRENT in-memory serialization (the stored copy may be a
+			// stale version of a node that is dirty in memory; copying the
+			// stale bytes forward would fork memory and disk).
+			if _, err := s.suite.Decrypt(ciphertext); err != nil {
+				return false, fmt.Errorf("%w: decrypting map node during cleaning: %v", ErrTampered, err)
+			}
+			node, err := s.cachedNodeAt(level, index)
+			if err != nil {
+				return false, err
+			}
+			cur := node.serialize()
+			curCipher, err := s.suite.Encrypt(cur, uint64(loc.Seg)<<32|uint64(loc.Off))
+			if err != nil {
+				return false, fmt.Errorf("chunkstore: re-encrypting map node during cleaning: %w", err)
+			}
+			rec := encodeRecord(recMapNode, mapNodeRecordBody(level, index, curCipher))
+			newLoc, err := s.segs.append(rec, s.cfg.SegmentSize)
+			if err != nil {
+				return false, err
+			}
+			if err := s.noteNodeWritten(level, index, newLoc, s.suite.Hash(cur)); err != nil {
+				return false, err
+			}
+			s.residualBytes += int64(newLoc.Len)
+			copied += int64(newLoc.Len)
+		case recDealloc, recCheckpoint, recCommit:
+			// Never live.
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	s.statCleanedBytes += copied
+	return nil
+}
+
+// cachedNodeAt returns the in-memory node at (level,index), loading it from
+// its current stored copy if necessary. The caller must have established
+// that the node is live in the current tree.
+func (s *Store) cachedNodeAt(level int, index uint64) (*mapNode, error) {
+	m := s.lm
+	if level == m.height && index == 0 {
+		return m.root, nil
+	}
+	cid := ChunkID(index * m.span(level))
+	n := m.root
+	for n.level > level {
+		i := m.childIndex(cid, n.level)
+		kid := n.kids[i]
+		if kid == nil {
+			var err error
+			kid, err = m.loadChild(n, i)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n = kid
+	}
+	if n.level != level || n.index != index {
+		return nil, fmt.Errorf("chunkstore: node lookup for (%d,%d) reached (%d,%d)", level, index, n.level, n.index)
+	}
+	return n, nil
+}
+
+// nodeLiveAt reports whether the stored copy of map node (level,index) at
+// loc is the current one.
+func (s *Store) nodeLiveAt(level int, index uint64, loc Location) (bool, error) {
+	m := s.lm
+	if level > m.height {
+		return false, nil
+	}
+	if level == m.height && index == 0 {
+		return m.root.loc == loc, nil
+	}
+	if level == m.height {
+		return false, nil
+	}
+	cid := ChunkID(index * m.span(level))
+	if uint64(cid) >= m.capacity() {
+		return false, nil
+	}
+	n := m.root
+	for n.level > level+1 {
+		i := m.childIndex(cid, n.level)
+		kid := n.kids[i]
+		if kid == nil {
+			if n.entries[i].isEmpty() {
+				return false, nil
+			}
+			var err error
+			kid, err = m.loadChild(n, i)
+			if err != nil {
+				return false, err
+			}
+		}
+		n = kid
+	}
+	return n.entries[m.childIndex(cid, level+1)].loc == loc, nil
+}

@@ -1,0 +1,196 @@
+package chunkstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// churn overwrites random chunks for many rounds, generating garbage for
+// the cleaner.
+func churn(t *testing.T, s *Store, ids []ChunkID, rounds int, rng *rand.Rand) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		b := s.NewBatch()
+		for k := 0; k < 4; k++ {
+			cid := ids[rng.Intn(len(ids))]
+			b.Write(cid, bytes.Repeat([]byte{byte(r), byte(k)}, 100))
+		}
+		if err := s.Commit(b, true); err != nil {
+			t.Fatalf("churn round %d: %v", r, err)
+		}
+	}
+}
+
+func TestCleanerBoundsDatabaseSize(t *testing.T) {
+	env := newTestEnv(t, "null")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.MaxUtilization = 0.5
+	s := env.open(t)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+	var ids []ChunkID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{byte(i)}, 100)))
+	}
+	churn(t, s, ids, 400, rng)
+	st := s.Stats()
+	if st.Cleanings == 0 {
+		t.Fatal("cleaner never ran despite heavy churn")
+	}
+	// Utilization-bound check: disk size stays under the cleaning trigger
+	// (target plus hysteresis slack) with one segment of headroom.
+	s.mu.Lock()
+	bound := s.cleanTriggerBytes() + int64(env.cfg.SegmentSize)
+	s.mu.Unlock()
+	if st.DiskBytes > bound {
+		t.Fatalf("disk %d exceeds bound %d (live %d)", st.DiskBytes, bound, st.LiveBytes)
+	}
+	// Data integrity after cleaning.
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify after cleaning: %v", err)
+	}
+}
+
+func TestCleanerPreservesDataAcrossReopen(t *testing.T) {
+	env := newTestEnv(t, "3des-sha1")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.MaxUtilization = 0.6
+	s := env.open(t)
+	rng := rand.New(rand.NewSource(11))
+	var ids []ChunkID
+	for i := 0; i < 30; i++ {
+		ids = append(ids, allocWrite(t, s, []byte(fmt.Sprintf("stable-%d", i))))
+	}
+	// Churn a disjoint set of chunks so the stable ones get relocated by the
+	// cleaner rather than rewritten.
+	var hot []ChunkID
+	for i := 0; i < 10; i++ {
+		hot = append(hot, allocWrite(t, s, []byte("hot")))
+	}
+	churn(t, s, hot, 300, rng)
+	if st := s.Stats(); st.Cleanings == 0 {
+		t.Fatal("cleaner never ran")
+	}
+	for i, cid := range ids {
+		got, err := s.Read(cid)
+		if err != nil || string(got) != fmt.Sprintf("stable-%d", i) {
+			t.Fatalf("Read(%d) after cleaning: %q, %v", cid, got, err)
+		}
+	}
+	s.Close()
+	env.mem.Crash() // also exercise recovery over a heavily cleaned log
+	s2 := env.open(t)
+	defer s2.Close()
+	for i, cid := range ids {
+		got, err := s2.Read(cid)
+		if err != nil || string(got) != fmt.Sprintf("stable-%d", i) {
+			t.Fatalf("Read(%d) after reopen: %q, %v", cid, got, err)
+		}
+	}
+}
+
+func TestHigherUtilizationYieldsSmallerDatabase(t *testing.T) {
+	// Reproduces the mechanism behind Figure 11 (right): the database size
+	// decreases as max utilization increases.
+	sizes := map[float64]int64{}
+	for _, util := range []float64{0.5, 0.9} {
+		env := newTestEnv(t, "null")
+		env.cfg.SegmentSize = 4 << 10
+		env.cfg.MaxUtilization = util
+		s := env.open(t)
+		rng := rand.New(rand.NewSource(3))
+		var ids []ChunkID
+		for i := 0; i < 40; i++ {
+			ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{byte(i)}, 100)))
+		}
+		churn(t, s, ids, 300, rng)
+		sizes[util] = s.Stats().DiskBytes
+		s.Close()
+	}
+	if sizes[0.9] >= sizes[0.5] {
+		t.Fatalf("size at util 0.9 (%d) should be below size at util 0.5 (%d)", sizes[0.9], sizes[0.5])
+	}
+}
+
+func TestCleanerWriteAmplificationGrowsWithUtilization(t *testing.T) {
+	// Reproduces the mechanism behind Figure 11 (left): cleaning work per
+	// commit rises steeply at high utilization.
+	copied := map[float64]int64{}
+	for _, util := range []float64{0.5, 0.9} {
+		env := newTestEnv(t, "null")
+		env.cfg.SegmentSize = 4 << 10
+		env.cfg.MaxUtilization = util
+		s := env.open(t)
+		rng := rand.New(rand.NewSource(5))
+		var ids []ChunkID
+		for i := 0; i < 40; i++ {
+			ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{byte(i)}, 100)))
+		}
+		churn(t, s, ids, 300, rng)
+		copied[util] = s.Stats().CleanedBytes
+		s.Close()
+	}
+	if copied[0.9] <= copied[0.5] {
+		t.Fatalf("cleaned bytes at util 0.9 (%d) should exceed util 0.5 (%d)", copied[0.9], copied[0.5])
+	}
+}
+
+func TestExplicitCleanReclaimsGarbage(t *testing.T) {
+	env := newTestEnv(t, "null")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.DisableAutoClean = true
+	env.cfg.MaxUtilization = 0.8
+	s := env.open(t)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(13))
+	var ids []ChunkID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{byte(i)}, 100)))
+	}
+	churn(t, s, ids, 200, rng)
+	before := s.Stats()
+	if err := s.Clean(); err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	after := s.Stats()
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("idle clean did not shrink the database: %d -> %d", before.DiskBytes, after.DiskBytes)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestDeallocatedSpaceIsReclaimed(t *testing.T) {
+	env := newTestEnv(t, "null")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.MaxUtilization = 0.7
+	s := env.open(t)
+	defer s.Close()
+	var ids []ChunkID
+	for i := 0; i < 200; i++ {
+		ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{1}, 200)))
+	}
+	grown := s.Stats().DiskBytes
+	b := s.NewBatch()
+	for _, cid := range ids[:180] {
+		b.Deallocate(cid)
+	}
+	if err := s.Commit(b, true); err != nil {
+		t.Fatalf("dealloc commit: %v", err)
+	}
+	if err := s.Clean(); err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	shrunk := s.Stats().DiskBytes
+	if shrunk >= grown/2 {
+		t.Fatalf("deallocation did not reclaim space: %d -> %d", grown, shrunk)
+	}
+	for _, cid := range ids[180:] {
+		if _, err := s.Read(cid); err != nil {
+			t.Fatalf("survivor chunk %d: %v", cid, err)
+		}
+	}
+}

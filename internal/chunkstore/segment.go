@@ -1,0 +1,253 @@
+package chunkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tdb/internal/platform"
+)
+
+// Segment files are named "seg-N" (decimal, monotonically increasing). Each
+// begins with a 16-byte header: magic and the segment number. Records follow
+// back to back.
+const (
+	segMagic      = uint64(0x5444425345470001) // "TDBSEG\x00\x01"
+	segHeaderSize = 16
+)
+
+func segmentName(n uint64) string { return "seg-" + strconv.FormatUint(n, 10) }
+
+// parseSegmentName extracts the segment number from a file name, reporting
+// ok=false for non-segment files.
+func parseSegmentName(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, "seg-")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segment is the in-memory state of one log segment.
+type segment struct {
+	num  uint64
+	file platform.File
+	// size is the number of bytes appended (header included).
+	size int64
+	// live is the number of bytes of current chunk/map-node versions.
+	live int64
+	// sealed segments accept no more appends.
+	sealed bool
+	// synced tracks whether all appended bytes are durable.
+	synced bool
+}
+
+// segmentSet manages all segment files of one store.
+type segmentSet struct {
+	store platform.UntrustedStore
+	segs  map[uint64]*segment
+	// tail is the open segment accepting appends.
+	tail *segment
+	// next is the number the next created segment will get.
+	next uint64
+}
+
+func newSegmentSet(store platform.UntrustedStore) *segmentSet {
+	return &segmentSet{store: store, segs: make(map[uint64]*segment), next: 1}
+}
+
+// create opens a new tail segment.
+func (ss *segmentSet) create() (*segment, error) {
+	num := ss.next
+	ss.next++
+	f, err := ss.store.Create(segmentName(num))
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: creating segment %d: %w", num, err)
+	}
+	var hdr [segHeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[0:8], segMagic)
+	binary.BigEndian.PutUint64(hdr[8:16], num)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("chunkstore: writing segment %d header: %w", num, err)
+	}
+	seg := &segment{num: num, file: f, size: segHeaderSize}
+	ss.segs[num] = seg
+	if ss.tail != nil {
+		ss.tail.sealed = true
+	}
+	ss.tail = seg
+	return seg, nil
+}
+
+// open loads an existing segment file during recovery. Its live count starts
+// at zero; the checkpoint's segment table and replay fill it in.
+func (ss *segmentSet) open(num uint64) (*segment, error) {
+	if seg, ok := ss.segs[num]; ok {
+		return seg, nil
+	}
+	f, err := ss.store.Open(segmentName(num))
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: opening segment %d: %w", num, err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size >= segHeaderSize {
+		var hdr [segHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+		if binary.BigEndian.Uint64(hdr[0:8]) != segMagic || binary.BigEndian.Uint64(hdr[8:16]) != num {
+			return nil, fmt.Errorf("%w: segment %d header invalid", ErrTampered, num)
+		}
+	}
+	seg := &segment{num: num, file: f, size: size, sealed: true, synced: true}
+	ss.segs[num] = seg
+	if num >= ss.next {
+		ss.next = num + 1
+	}
+	return seg, nil
+}
+
+// get returns an already-loaded segment.
+func (ss *segmentSet) get(num uint64) (*segment, error) {
+	seg, ok := ss.segs[num]
+	if !ok {
+		return nil, fmt.Errorf("%w: reference to missing segment %d", ErrTampered, num)
+	}
+	return seg, nil
+}
+
+// free removes a segment file whose live data has been fully evacuated.
+func (ss *segmentSet) free(num uint64) error {
+	seg, ok := ss.segs[num]
+	if !ok {
+		return fmt.Errorf("chunkstore: freeing unknown segment %d", num)
+	}
+	if seg == ss.tail {
+		return fmt.Errorf("chunkstore: cannot free tail segment %d", num)
+	}
+	if err := seg.file.Close(); err != nil {
+		return err
+	}
+	delete(ss.segs, num)
+	if err := ss.store.Remove(segmentName(num)); err != nil {
+		return fmt.Errorf("chunkstore: removing segment %d: %w", num, err)
+	}
+	return nil
+}
+
+// numbers returns all loaded segment numbers in ascending order.
+func (ss *segmentSet) numbers() []uint64 {
+	out := make([]uint64, 0, len(ss.segs))
+	for n := range ss.segs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// totalSize returns the sum of all segment sizes.
+func (ss *segmentSet) totalSize() int64 {
+	var t int64
+	for _, s := range ss.segs {
+		t += s.size
+	}
+	return t
+}
+
+// totalLive returns the sum of all live bytes.
+func (ss *segmentSet) totalLive() int64 {
+	var t int64
+	for _, s := range ss.segs {
+		t += s.live
+	}
+	return t
+}
+
+// append writes a raw encoded record to the tail (sealing and creating
+// segments as needed when the tail is full) and returns its location.
+func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {
+	if ss.tail == nil {
+		if _, err := ss.create(); err != nil {
+			return Location{}, err
+		}
+	}
+	// Seal the tail if the record does not fit; oversized records get a
+	// fresh segment to themselves.
+	if ss.tail.size > segHeaderSize && ss.tail.size+int64(len(rec)) > int64(segmentSize) {
+		if _, err := ss.create(); err != nil {
+			return Location{}, err
+		}
+	}
+	tail := ss.tail
+	loc := Location{Seg: tail.num, Off: uint32(tail.size), Len: uint32(len(rec))}
+	if _, err := tail.file.WriteAt(rec, tail.size); err != nil {
+		return Location{}, fmt.Errorf("chunkstore: appending to segment %d: %w", tail.num, err)
+	}
+	tail.size += int64(len(rec))
+	tail.synced = false
+	return loc, nil
+}
+
+// readRecord reads and CRC-checks the record at loc, returning its type and
+// body. CRC failure is reported as tampering: outside of crash recovery's
+// tail scan, every stored record is expected to be intact.
+func (ss *segmentSet) readRecord(loc Location) (byte, []byte, error) {
+	seg, err := ss.get(loc.Seg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if int64(loc.Off)+int64(loc.Len) > seg.size || loc.Len < recordHeaderSize {
+		return 0, nil, fmt.Errorf("%w: record %v out of segment bounds", ErrTampered, loc)
+	}
+	buf := make([]byte, loc.Len)
+	if _, err := seg.file.ReadAt(buf, int64(loc.Off)); err != nil && err != io.EOF {
+		return 0, nil, fmt.Errorf("chunkstore: reading record %v: %w", loc, err)
+	}
+	typ, bodyLen, err := decodeRecordHeader(buf)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if int(bodyLen)+recordHeaderSize != len(buf) {
+		return 0, nil, fmt.Errorf("%w: record %v length mismatch", ErrTampered, loc)
+	}
+	if !checkRecordCRC(buf) {
+		return 0, nil, fmt.Errorf("%w: record %v CRC mismatch", ErrTampered, loc)
+	}
+	return typ, buf[recordHeaderSize:], nil
+}
+
+// syncDirty syncs every segment with unsynced appends.
+func (ss *segmentSet) syncDirty() error {
+	// Sync in segment order for determinism.
+	for _, n := range ss.numbers() {
+		seg := ss.segs[n]
+		if !seg.synced {
+			if err := seg.file.Sync(); err != nil {
+				return fmt.Errorf("chunkstore: syncing segment %d: %w", seg.num, err)
+			}
+			seg.synced = true
+		}
+	}
+	return nil
+}
+
+// closeAll closes every file handle.
+func (ss *segmentSet) closeAll() error {
+	var first error
+	for _, seg := range ss.segs {
+		if err := seg.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,294 @@
+package chunkstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotIsolatedFromLaterWrites(t *testing.T) {
+	env := newTestEnv(t, "3des-sha1")
+	s := env.open(t)
+	defer s.Close()
+	cid := allocWrite(t, s, []byte("old"))
+	snap, err := s.TakeSnapshot()
+	if err != nil {
+		t.Fatalf("TakeSnapshot: %v", err)
+	}
+	defer snap.Close()
+	writeChunk(t, s, cid, []byte("new"))
+
+	var snapVal []byte
+	err = snap.ForEach(func(c ChunkID, hash, ciphertext []byte) error {
+		if c == cid {
+			plain, err := env.suite.Decrypt(ciphertext)
+			if err != nil {
+				return err
+			}
+			snapVal = plain
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if string(snapVal) != "old" {
+		t.Fatalf("snapshot sees %q, want old", snapVal)
+	}
+	// Current state unaffected.
+	got, _ := s.Read(cid)
+	if string(got) != "new" {
+		t.Fatalf("current state %q", got)
+	}
+}
+
+func TestSnapshotForEachCoversAllChunks(t *testing.T) {
+	env := newTestEnv(t, "null")
+	s := env.open(t)
+	defer s.Close()
+	want := map[ChunkID]string{}
+	for i := 0; i < 150; i++ { // >64 forces a multi-level map
+		cid := allocWrite(t, s, []byte(fmt.Sprintf("v-%d", i)))
+		want[cid] = fmt.Sprintf("v-%d", i)
+	}
+	snap, _ := s.TakeSnapshot()
+	defer snap.Close()
+	got := map[ChunkID]string{}
+	var last ChunkID
+	err := snap.ForEach(func(cid ChunkID, hash, ct []byte) error {
+		if cid <= last {
+			t.Fatalf("ForEach out of order: %d after %d", cid, last)
+		}
+		last = cid
+		plain, err := env.suite.Decrypt(ct)
+		if err != nil {
+			return err
+		}
+		got[cid] = string(plain)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d chunks, want %d", len(got), len(want))
+	}
+	for cid, v := range want {
+		if got[cid] != v {
+			t.Fatalf("chunk %d: %q, want %q", cid, got[cid], v)
+		}
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	env := newTestEnv(t, "3des-sha1")
+	s := env.open(t)
+	defer s.Close()
+	var ids []ChunkID
+	for i := 0; i < 100; i++ {
+		ids = append(ids, allocWrite(t, s, []byte(fmt.Sprintf("base-%d", i))))
+	}
+	base, _ := s.TakeSnapshot()
+	defer base.Close()
+
+	// Change 3, delete 2, add 2.
+	writeChunk(t, s, ids[5], []byte("changed-5"))
+	writeChunk(t, s, ids[50], []byte("changed-50"))
+	writeChunk(t, s, ids[99], []byte("changed-99"))
+	b := s.NewBatch()
+	b.Deallocate(ids[10])
+	b.Deallocate(ids[70])
+	if err := s.Commit(b, true); err != nil {
+		t.Fatalf("dealloc: %v", err)
+	}
+	added1 := allocWrite(t, s, []byte("added-1"))
+	added2 := allocWrite(t, s, []byte("added-2"))
+
+	cur, _ := s.TakeSnapshot()
+	defer cur.Close()
+
+	changes := map[ChunkID]DiffChange{}
+	err := cur.Diff(base, func(ch DiffChange) error {
+		changes[ch.CID] = ch
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	// Note: added1/added2 may reuse the deallocated ids, merging a delete
+	// and an add into a single change.
+	wantChanged := map[ChunkID]string{
+		ids[5]: "changed-5", ids[50]: "changed-50", ids[99]: "changed-99",
+		added1: "added-1", added2: "added-2",
+	}
+	for cid, wantVal := range wantChanged {
+		ch, ok := changes[cid]
+		if !ok {
+			t.Fatalf("missing diff entry for chunk %d", cid)
+		}
+		if ch.Deleted {
+			t.Fatalf("chunk %d reported deleted", cid)
+		}
+		plain, err := env.suite.Decrypt(ch.Ciphertext)
+		if err != nil || string(plain) != wantVal {
+			t.Fatalf("chunk %d diff payload %q, %v", cid, plain, err)
+		}
+		delete(changes, cid)
+	}
+	for cid, ch := range changes {
+		if !ch.Deleted {
+			t.Fatalf("unexpected non-delete diff for chunk %d", cid)
+		}
+		if cid != ids[10] && cid != ids[70] {
+			t.Fatalf("unexpected deleted chunk %d", cid)
+		}
+	}
+}
+
+func TestSnapshotDiffEmptyForIdenticalStates(t *testing.T) {
+	env := newTestEnv(t, "null")
+	s := env.open(t)
+	defer s.Close()
+	for i := 0; i < 30; i++ {
+		allocWrite(t, s, []byte(fmt.Sprintf("x%d", i)))
+	}
+	a, _ := s.TakeSnapshot()
+	defer a.Close()
+	bSnap, _ := s.TakeSnapshot()
+	defer bSnap.Close()
+	count := 0
+	if err := bSnap.Diff(a, func(DiffChange) error { count++; return nil }); err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("identical snapshots produced %d diffs", count)
+	}
+}
+
+func TestSnapshotDiffAfterTreeGrowth(t *testing.T) {
+	env := newTestEnv(t, "null")
+	s := env.open(t)
+	defer s.Close()
+	first := allocWrite(t, s, []byte("first"))
+	base, _ := s.TakeSnapshot()
+	defer base.Close()
+	// Grow well past one leaf's capacity (fanout default 64).
+	var added []ChunkID
+	for i := 0; i < 200; i++ {
+		added = append(added, allocWrite(t, s, []byte(fmt.Sprintf("grown-%d", i))))
+	}
+	cur, _ := s.TakeSnapshot()
+	defer cur.Close()
+	got := map[ChunkID]bool{}
+	err := cur.Diff(base, func(ch DiffChange) error {
+		if ch.Deleted {
+			t.Fatalf("unexpected delete of %d", ch.CID)
+		}
+		got[ch.CID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if got[first] {
+		t.Fatal("unchanged chunk appeared in diff")
+	}
+	for _, cid := range added {
+		if !got[cid] {
+			t.Fatalf("added chunk %d missing from diff", cid)
+		}
+	}
+}
+
+func TestSnapshotSurvivesCleaningChurn(t *testing.T) {
+	env := newTestEnv(t, "3des-sha1")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.MaxUtilization = 0.6
+	s := env.open(t)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(21))
+	var ids []ChunkID
+	for i := 0; i < 30; i++ {
+		ids = append(ids, allocWrite(t, s, []byte(fmt.Sprintf("snapval-%d", i))))
+	}
+	snap, _ := s.TakeSnapshot()
+	defer snap.Close()
+	churn(t, s, ids, 300, rng)
+	// The snapshot must still read its frozen state even though the cleaner
+	// has been at work (it skips pinned segments).
+	seen := 0
+	err := snap.ForEach(func(cid ChunkID, hash, ct []byte) error {
+		plain, err := env.suite.Decrypt(ct)
+		if err != nil {
+			return err
+		}
+		if !bytes.HasPrefix(plain, []byte("snapval-")) {
+			t.Fatalf("snapshot chunk %d has post-snapshot content %q", cid, plain)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach during churn: %v", err)
+	}
+	if seen != len(ids) {
+		t.Fatalf("snapshot sees %d chunks, want %d", seen, len(ids))
+	}
+}
+
+func TestSnapshotCloseUnpinsCleaner(t *testing.T) {
+	env := newTestEnv(t, "null")
+	env.cfg.SegmentSize = 4 << 10
+	env.cfg.MaxUtilization = 0.5
+	env.cfg.DisableAutoClean = true
+	s := env.open(t)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(31))
+	var ids []ChunkID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, allocWrite(t, s, bytes.Repeat([]byte{byte(i)}, 100)))
+	}
+	snap, _ := s.TakeSnapshot()
+	// Overwrite everything: the initial versions are now garbage in the
+	// current state but live in the snapshot, so their segments stay pinned.
+	churn(t, s, ids, 200, rng)
+	if err := s.Clean(); err != nil {
+		t.Fatalf("Clean with snapshot open: %v", err)
+	}
+	pinned := s.Stats().DiskBytes
+	// The snapshot must still be fully readable after that cleaning pass.
+	seen := 0
+	if err := snap.ForEach(func(ChunkID, []byte, []byte) error { seen++; return nil }); err != nil {
+		t.Fatalf("snapshot ForEach after cleaning: %v", err)
+	}
+	if seen != len(ids) {
+		t.Fatalf("snapshot sees %d chunks, want %d", seen, len(ids))
+	}
+	snap.Close()
+	if err := s.Clean(); err != nil {
+		t.Fatalf("Clean after snapshot close: %v", err)
+	}
+	unpinned := s.Stats().DiskBytes
+	if unpinned >= pinned {
+		t.Fatalf("closing snapshot should let cleaner reclaim its pinned segments: %d -> %d", pinned, unpinned)
+	}
+}
+
+func TestSnapshotOpsAfterClose(t *testing.T) {
+	env := newTestEnv(t, "null")
+	s := env.open(t)
+	defer s.Close()
+	allocWrite(t, s, []byte("x"))
+	snap, _ := s.TakeSnapshot()
+	snap2, _ := s.TakeSnapshot()
+	snap.Close()
+	if err := snap.ForEach(func(ChunkID, []byte, []byte) error { return nil }); err != ErrSnapshotClosed {
+		t.Fatalf("ForEach after close: %v", err)
+	}
+	if err := snap2.Diff(snap, func(DiffChange) error { return nil }); err != ErrSnapshotClosed {
+		t.Fatalf("Diff with closed base: %v", err)
+	}
+	snap.Close() // double close is a no-op
+	snap2.Close()
+}

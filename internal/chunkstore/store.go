@@ -1,0 +1,490 @@
+package chunkstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tdb/internal/sec"
+)
+
+// Store is a log-structured, encrypted, tamper-evident chunk store. All
+// methods are safe for concurrent use; internally the store serializes
+// operations with a single state mutex, matching TDB's low-concurrency
+// design point (paper §4.2.3).
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+
+	suite sec.Suite
+	segs  *segmentSet
+	lm    *locMap
+	alloc *allocator
+
+	// commitSeq is the sequence number of the last commit record appended.
+	commitSeq uint64
+	// counterVal caches the one-way counter's current value.
+	counterVal uint64
+	// lastCkpt locates the most recent checkpoint record.
+	lastCkpt Location
+	// residualBytes counts log bytes appended since the last checkpoint; it
+	// triggers automatic checkpoints and bounds recovery replay.
+	residualBytes int64
+	// superSeq numbers superblock writes for the ping-pong slots.
+	superSeq uint64
+	// chunkCount tracks allocated-and-written chunks.
+	chunkCount int64
+	// snapshots tracks open snapshots; the cleaner must not free segments
+	// they can reference.
+	snapshots map[*Snapshot]struct{}
+	// maintenance guards against recursive post-commit maintenance.
+	maintenance bool
+	closed      bool
+
+	statCleanings    int64
+	statCleanedBytes int64
+	statCheckpoints  int64
+}
+
+// Open opens an existing chunk store or formats a new one if the store
+// contains no database. Opening an existing store performs full crash
+// recovery and tamper validation of the recovered state; it returns
+// ErrTampered if the database fails validation (including replay of a stale
+// copy).
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:       cfg,
+		suite:     cfg.Suite,
+		segs:      newSegmentSet(cfg.Store),
+		snapshots: make(map[*Snapshot]struct{}),
+	}
+	if cfg.UseCounter {
+		v, err := cfg.Counter.Read()
+		if err != nil {
+			return nil, fmt.Errorf("chunkstore: reading one-way counter: %w", err)
+		}
+		s.counterVal = v
+	}
+	sb, err := s.readSuperblock()
+	if errors.Is(err, errNoSuperblock) {
+		if err := s.format(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.recover(sb); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// format initializes an empty database.
+func (s *Store) format() error {
+	s.alloc = newAllocator()
+	s.lm = newLocMap(s, s.cfg.Fanout)
+	if _, err := s.segs.create(); err != nil {
+		return err
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return fmt.Errorf("chunkstore: formatting: %w", err)
+	}
+	return nil
+}
+
+// Close checkpoints and releases the store. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.residualBytes > 0 {
+		err = s.checkpointLocked()
+	}
+	if cerr := s.segs.closeAll(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}
+
+// AllocateChunkID returns a fresh chunk id (paper Figure 2). The allocation
+// is transient until a write to the id commits; ids never written are
+// reclaimed automatically after a crash, and callers may return them early
+// with Release.
+func (s *Store) AllocateChunkID() (ChunkID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	cid := s.alloc.allocate()
+	// Defensive cross-check: the id must have no live map entry. A non-empty
+	// entry means the allocator state was corrupted (e.g., a tampered
+	// checkpoint smuggled a live id onto the free list, hoping a later write
+	// would silently destroy data).
+	e, err := s.lm.get(cid)
+	if err != nil {
+		return 0, err
+	}
+	if !e.isEmpty() {
+		return 0, fmt.Errorf("%w: allocator produced live chunk id %d", ErrTampered, cid)
+	}
+	return cid, nil
+}
+
+// Release returns an allocated-but-never-written id to the allocator (used
+// when a transaction that inserted objects aborts, §4.2.3).
+func (s *Store) Release(cid ChunkID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.alloc.isAllocated(cid) {
+		return fmt.Errorf("%w: %d", ErrNotAllocated, cid)
+	}
+	e, err := s.lm.get(cid)
+	if err != nil {
+		return err
+	}
+	if !e.isEmpty() {
+		return fmt.Errorf("chunkstore: Release of written chunk %d (use Deallocate)", cid)
+	}
+	s.alloc.release(cid)
+	return nil
+}
+
+// Read returns the last committed state of cid (paper Figure 2). It signals
+// ErrNotWritten for ids without committed state and ErrTampered if the
+// stored chunk fails validation against the Merkle tree.
+func (s *Store) Read(cid ChunkID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(cid)
+}
+
+func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, err := s.lm.get(cid)
+	if err != nil {
+		return nil, err
+	}
+	if e.isEmpty() {
+		if s.alloc.isAllocated(cid) {
+			return nil, fmt.Errorf("%w: %d", ErrNotWritten, cid)
+		}
+		return nil, fmt.Errorf("%w: %d", ErrNotAllocated, cid)
+	}
+	return s.readChunkAt(cid, e)
+}
+
+// readChunkAt fetches, validates, and decrypts the chunk version at e.
+func (s *Store) readChunkAt(cid ChunkID, e entry) ([]byte, error) {
+	typ, body, err := s.segs.readRecord(e.loc)
+	if err != nil {
+		return nil, err
+	}
+	if typ != recWrite {
+		return nil, fmt.Errorf("%w: chunk %d record at %v has type %d", ErrTampered, cid, e.loc, typ)
+	}
+	gotCid, ciphertext, err := parseWriteRecord(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if gotCid != cid {
+		return nil, fmt.Errorf("%w: record at %v names chunk %d, want %d", ErrTampered, e.loc, gotCid, cid)
+	}
+	if !sec.HashEqual(s.suite.Hash(ciphertext), e.hash) {
+		return nil, fmt.Errorf("%w: chunk %d fails hash validation", ErrTampered, cid)
+	}
+	plain, err := s.suite.Decrypt(ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("%w: decrypting chunk %d: %v", ErrTampered, cid, err)
+	}
+	return plain, nil
+}
+
+// batch op kinds.
+const (
+	opWrite = iota
+	opDealloc
+	// opRestore force-allocates a specific id; used only by the backup
+	// store's validated restore.
+	opRestore
+)
+
+type batchOp struct {
+	kind int
+	cid  ChunkID
+	data []byte
+}
+
+// Batch groups chunk operations into one atomic commit (paper §3.1:
+// "several operations can be grouped into a single commit operation that is
+// atomic with respect to crashes").
+type Batch struct {
+	ops []batchOp
+}
+
+// NewBatch returns an empty operation batch.
+func (s *Store) NewBatch() *Batch { return &Batch{} }
+
+// Write sets the state of cid to data at commit. The data slice is retained
+// until the batch commits.
+func (b *Batch) Write(cid ChunkID, data []byte) {
+	b.ops = append(b.ops, batchOp{kind: opWrite, cid: cid, data: data})
+}
+
+// Deallocate frees cid and its state at commit.
+func (b *Batch) Deallocate(cid ChunkID) {
+	b.ops = append(b.ops, batchOp{kind: opDealloc, cid: cid})
+}
+
+// RestoreWrite force-writes cid regardless of allocation state, claiming
+// the id. It exists for the backup store's validated restore, which must
+// reproduce chunks under their original ids; applications use Write.
+func (b *Batch) RestoreWrite(cid ChunkID, data []byte) {
+	b.ops = append(b.ops, batchOp{kind: opRestore, cid: cid, data: data})
+}
+
+// Len returns the number of staged operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Commit applies the batch atomically. A durable commit survives crashes; a
+// nondurable commit is guaranteed *not* to survive a crash unless a
+// subsequent durable commit completes (paper §3.2.2).
+func (s *Store) Commit(b *Batch, durable bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.commitLocked(b, durable); err != nil {
+		return err
+	}
+	return s.maybeMaintain()
+}
+
+// commitLocked validates and applies a batch. On validation error nothing
+// is changed; I/O errors mid-commit leave the log with an uncommitted tail
+// that recovery discards.
+func (s *Store) commitLocked(b *Batch, durable bool) error {
+	// Validate before touching the log.
+	for _, op := range b.ops {
+		switch op.kind {
+		case opWrite, opDealloc:
+			if !s.alloc.isAllocated(op.cid) {
+				return fmt.Errorf("%w: %d", ErrNotAllocated, op.cid)
+			}
+		case opRestore:
+			if op.cid == 0 {
+				return fmt.Errorf("chunkstore: restore of chunk id 0")
+			}
+		}
+	}
+	if len(b.ops) == 0 && !durable {
+		return nil
+	}
+	appended := int64(0)
+	ivSeq := (s.commitSeq + 1) << 20
+	for i, op := range b.ops {
+		switch op.kind {
+		case opWrite, opRestore:
+			if op.kind == opRestore {
+				s.alloc.noteWritten(op.cid)
+			}
+			ciphertext, err := s.suite.Encrypt(op.data, ivSeq|uint64(i&0xfffff))
+			if err != nil {
+				return fmt.Errorf("chunkstore: encrypting chunk %d: %w", op.cid, err)
+			}
+			rec := encodeRecord(recWrite, writeRecordBody(op.cid, ciphertext))
+			loc, err := s.segs.append(rec, s.cfg.SegmentSize)
+			if err != nil {
+				return err
+			}
+			appended += int64(len(rec))
+			old, err := s.lm.set(op.cid, entry{loc: loc, hash: s.suite.Hash(ciphertext)})
+			if err != nil {
+				return err
+			}
+			s.adjustLive(loc, int64(loc.Len))
+			if !old.isEmpty() {
+				s.adjustLive(old.loc, -int64(old.loc.Len))
+			} else {
+				s.chunkCount++
+			}
+		case opDealloc:
+			old, err := s.lm.get(op.cid)
+			if err != nil {
+				return err
+			}
+			if !old.isEmpty() {
+				rec := encodeRecord(recDealloc, deallocRecordBody(op.cid))
+				if _, err := s.segs.append(rec, s.cfg.SegmentSize); err != nil {
+					return err
+				}
+				appended += int64(len(rec))
+				if _, err := s.lm.clear(op.cid); err != nil {
+					return err
+				}
+				s.adjustLive(old.loc, -int64(old.loc.Len))
+				s.chunkCount--
+			}
+			s.alloc.release(op.cid)
+		}
+	}
+	if err := s.appendCommitRecord(durable, &appended); err != nil {
+		return err
+	}
+	s.residualBytes += appended
+	b.ops = nil
+	return nil
+}
+
+// appendCommitRecord writes the commit record for the current in-memory
+// state and, for durable commits, syncs the log and advances the one-way
+// counter.
+func (s *Store) appendCommitRecord(durable bool, appended *int64) error {
+	seq := s.commitSeq + 1
+	ctr := s.counterVal
+	if durable && s.cfg.UseCounter {
+		ctr++
+	}
+	rootHash := s.lm.rootHash()
+	signed := commitSignedPortion(seq, durable, ctr, rootHash)
+	rec := encodeRecord(recCommit, commitRecordBody(signed, s.suite.MAC(signed)))
+	if _, err := s.segs.append(rec, s.cfg.SegmentSize); err != nil {
+		return err
+	}
+	if appended != nil {
+		*appended += int64(len(rec))
+	}
+	if durable {
+		if err := s.segs.syncDirty(); err != nil {
+			return err
+		}
+		if s.cfg.UseCounter {
+			if _, err := s.cfg.Counter.Increment(); err != nil {
+				return fmt.Errorf("chunkstore: incrementing one-way counter: %w", err)
+			}
+			s.counterVal = ctr
+		}
+	}
+	s.commitSeq = seq
+	return nil
+}
+
+// adjustLive updates a segment's live-byte count.
+func (s *Store) adjustLive(loc Location, delta int64) {
+	if seg, ok := s.segs.segs[loc.Seg]; ok {
+		seg.live += delta
+		if seg.live < 0 {
+			seg.live = 0
+		}
+	}
+}
+
+// maybeMaintain runs post-commit maintenance: checkpoint when the residual
+// log is long, clean when utilization exceeds the bound. Maintenance
+// commits do not recursively trigger maintenance.
+func (s *Store) maybeMaintain() error {
+	if s.maintenance {
+		return nil
+	}
+	s.maintenance = true
+	defer func() { s.maintenance = false }()
+	if !s.cfg.DisableAutoCheckpoint && s.residualBytes >= s.cfg.CheckpointBytes {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	if !s.cfg.DisableAutoClean {
+		if err := s.cleanLocked(s.cfg.CleanStepBytes, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint forces a checkpoint of the location map (normally deferred to
+// idle periods or triggered by residual log growth, §3.2.1).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.checkpointLocked()
+}
+
+// Clean runs cleaner passes until either utilization is within the
+// configured bound or no progress can be made. It is the "idle time"
+// cleaning entry point (§3.2.1).
+func (s *Store) Clean() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.cleanLocked(1<<62, true)
+}
+
+// Stats returns operational counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	disk := s.segs.totalSize()
+	live := s.segs.totalLive()
+	st := Stats{
+		Segments:     len(s.segs.segs),
+		DiskBytes:    disk,
+		LiveBytes:    live,
+		Chunks:       s.chunkCount,
+		CommitSeq:    s.commitSeq,
+		Cleanings:    s.statCleanings,
+		CleanedBytes: s.statCleanedBytes,
+		Checkpoints:  s.statCheckpoints,
+		CacheBytes:   s.cfg.CachePool.Used(),
+	}
+	if disk > 0 {
+		st.Utilization = float64(live) / float64(disk)
+	}
+	return st
+}
+
+// Verify re-reads and validates every chunk and map node against the Merkle
+// tree, returning ErrTampered on any mismatch. It is the full-database
+// audit used by tools and tests.
+func (s *Store) Verify() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	count := int64(0)
+	err := s.lm.forEachEntry(s.lm.root, func(cid ChunkID, e entry) error {
+		if _, err := s.readChunkAt(cid, e); err != nil {
+			return err
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if count != s.chunkCount {
+		return fmt.Errorf("%w: map holds %d chunks, expected %d", ErrTampered, count, s.chunkCount)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package chunkstore
+
+import "tdb/internal/lru"
+
+// newTinyPool returns an LRU pool small enough to evict map nodes
+// constantly, exercising reload paths.
+func newTinyPool() *lru.Pool { return lru.NewPool(8 << 10) }

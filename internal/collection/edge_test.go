@@ -1,0 +1,312 @@
+package collection
+
+import (
+	"errors"
+	"testing"
+
+	"tdb/internal/objectstore"
+)
+
+// Edge-case tests for the collection store: composite keys, string keys,
+// multiple collections, iterator misuse, and catalog behaviour.
+
+// Track is a second schema class for multi-collection tests.
+type Track struct {
+	Artist string
+	Title  string
+	Plays  int64
+}
+
+const trackClass objectstore.ClassID = 3003
+
+func (tr *Track) ClassID() objectstore.ClassID { return trackClass }
+func (tr *Track) Pickle(p *objectstore.Pickler) {
+	p.String(tr.Artist)
+	p.String(tr.Title)
+	p.Int64(tr.Plays)
+}
+func (tr *Track) Unpickle(u *objectstore.Unpickler) error {
+	tr.Artist = u.String()
+	tr.Title = u.String()
+	tr.Plays = u.Int64()
+	return u.Err()
+}
+
+func trackByName() GenericIndexer {
+	return NewIndexer("name", true, BTree, func(tr *Track) CompositeKey {
+		return CompositeKey{StringKey(tr.Artist), StringKey(tr.Title)}
+	})
+}
+
+func TestCompositeStringKeyIndex(t *testing.T) {
+	e := newColEnv(t)
+	e.reg.Register(trackClass, func() objectstore.Object { return &Track{} })
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+
+	ct := s.Begin()
+	h, err := ct.CreateCollection("tracks", trackByName())
+	if err != nil {
+		t.Fatalf("CreateCollection: %v", err)
+	}
+	for _, tr := range []*Track{
+		{Artist: "Coltrane", Title: "Naima"},
+		{Artist: "Coltrane", Title: "Alabama"},
+		{Artist: "Davis", Title: "So What"},
+		{Artist: "Co", Title: "ltrane-trap"}, // prefix trap for the encoding
+	} {
+		if _, err := h.Insert(tr); err != nil {
+			t.Fatalf("Insert %v: %v", tr, err)
+		}
+	}
+	// Exact match on a composite key.
+	it, err := h.QueryExact(trackByName(), CompositeKey{StringKey("Coltrane"), StringKey("Naima")})
+	if err != nil {
+		t.Fatalf("QueryExact: %v", err)
+	}
+	if !it.Next() {
+		t.Fatal("composite exact match missed")
+	}
+	tr, err := ReadAs[*Track](it)
+	if err != nil || tr.Title != "Naima" {
+		t.Fatalf("got %+v, %v", tr, err)
+	}
+	it.Close()
+
+	// Range over one artist: [ (Coltrane,"") , (Coltrane,\xff...) ) — use
+	// the artist prefix boundaries.
+	lo := CompositeKey{StringKey("Coltrane"), StringKey("")}
+	hi := CompositeKey{StringKey("Coltrane"), StringKey("\xff\xff\xff\xff")}
+	it2, err := h.QueryRange(trackByName(), lo, hi)
+	if err != nil {
+		t.Fatalf("QueryRange: %v", err)
+	}
+	var titles []string
+	for it2.Next() {
+		tr, _ := ReadAs[*Track](it2)
+		if tr.Artist != "Coltrane" {
+			t.Fatalf("prefix range leaked artist %q", tr.Artist)
+		}
+		titles = append(titles, tr.Title)
+	}
+	it2.Close()
+	if len(titles) != 2 || titles[0] != "Alabama" || titles[1] != "Naima" {
+		t.Fatalf("artist range: %v", titles)
+	}
+	// Duplicate composite key rejected.
+	if _, err := h.Insert(&Track{Artist: "Davis", Title: "So What"}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("composite duplicate: %v", err)
+	}
+	ct.Commit(true)
+}
+
+func TestMultipleCollectionsIndependent(t *testing.T) {
+	e := newColEnv(t)
+	e.reg.Register(trackClass, func() objectstore.Object { return &Track{} })
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+
+	ct := s.Begin()
+	meters, _ := ct.CreateCollection("meters", idIndexer())
+	tracks, _ := ct.CreateCollection("tracks", trackByName())
+	meters.Insert(&Meter{ID: 1})
+	tracks.Insert(&Track{Artist: "A", Title: "T"})
+	if err := ct.Commit(true); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	ct2 := s.Begin()
+	names, _ := ct2.ListCollections()
+	if len(names) != 2 {
+		t.Fatalf("collections: %v", names)
+	}
+	ct2.Abort() // release the catalog's shared lock before the DDL below
+	// Removing one leaves the other intact.
+	ct3 := s.Begin()
+	if err := ct3.RemoveCollection("meters"); err != nil {
+		t.Fatalf("RemoveCollection: %v", err)
+	}
+	if err := ct3.Commit(true); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ct4 := s.Begin()
+	defer ct4.Abort()
+	h, err := ct4.ReadCollection("tracks")
+	if err != nil {
+		t.Fatalf("tracks after removing meters: %v", err)
+	}
+	if h.Size() != 1 {
+		t.Fatalf("tracks size: %d", h.Size())
+	}
+}
+
+func TestIteratorMisuse(t *testing.T) {
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	mustCreateProfile(t, s, 3)
+	ct := s.Begin()
+	defer ct.Abort()
+	h, _ := ct.ReadCollection("profile")
+	it, _ := h.Query(idIndexer())
+
+	// Dereference before Next.
+	if _, err := it.Read(); err == nil {
+		t.Fatal("Read before Next succeeded")
+	}
+	for it.Next() {
+	}
+	// Dereference after exhaustion.
+	if _, err := it.Read(); err == nil {
+		t.Fatal("Read after exhaustion succeeded")
+	}
+	// Next after exhaustion stays false.
+	if it.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+	it.Close()
+	// Use after close.
+	if _, err := it.ID(); !errors.Is(err, ErrIteratorClosed) {
+		t.Fatalf("ID after close: %v", err)
+	}
+	if it.Next() {
+		t.Fatal("Next after close")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestCreateCollectionValidation(t *testing.T) {
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	ct := s.Begin()
+	defer ct.Abort()
+	if _, err := ct.CreateCollection("empty"); err == nil {
+		t.Fatal("collection without indexes accepted")
+	}
+	if _, err := ct.CreateCollection("dup", idIndexer(), idIndexer()); !errors.Is(err, ErrIndexExists) {
+		t.Fatalf("duplicate index names: %v", err)
+	}
+	if _, err := ct.CreateCollection("ok", idIndexer()); err != nil {
+		t.Fatalf("CreateCollection: %v", err)
+	}
+	if _, err := ct.CreateCollection("ok", idIndexer()); !errors.Is(err, ErrCollectionExists) {
+		t.Fatalf("duplicate collection: %v", err)
+	}
+	if err := ct.RemoveCollection("missing"); !errors.Is(err, ErrNoSuchCollection) {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+func TestIndexerMismatchRejected(t *testing.T) {
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	mustCreateProfile(t, s, 1)
+	ct := s.Begin()
+	defer ct.Abort()
+	// Same name, different uniqueness.
+	wrong := NewIndexer("id", false, HashTable, func(m *Meter) IntKey { return IntKey(m.ID) })
+	if _, err := ct.ReadCollection("profile", wrong); err == nil {
+		t.Fatal("mismatched uniqueness accepted")
+	}
+	// Same name, different kind.
+	wrongKind := NewIndexer("id", true, BTree, func(m *Meter) IntKey { return IntKey(m.ID) })
+	if _, err := ct.ReadCollection("profile", wrongKind); err == nil {
+		t.Fatal("mismatched kind accepted")
+	}
+	// Unknown index name.
+	unknown := NewIndexer("nope", true, HashTable, func(m *Meter) IntKey { return IntKey(m.ID) })
+	if _, err := ct.ReadCollection("profile", unknown); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("unknown index: %v", err)
+	}
+	// Writable access requires an indexer for every index.
+	if _, err := ct.WriteCollection("profile", idIndexer()); err == nil {
+		t.Fatal("writable open without all indexers accepted")
+	}
+}
+
+func TestRangeQueryOnHashRejected(t *testing.T) {
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	mustCreateProfile(t, s, 1)
+	ct := s.Begin()
+	defer ct.Abort()
+	h, _ := ct.ReadCollection("profile")
+	if _, err := h.QueryRange(idIndexer(), IntKey(0), IntKey(10)); !errors.Is(err, ErrRangeUnsupported) {
+		t.Fatalf("range on hash index: %v", err)
+	}
+}
+
+func TestUpdateSameObjectTwiceInIterator(t *testing.T) {
+	// Write() twice on the same row returns the same object and snapshots
+	// keys only once (so the final maintenance compares against the
+	// original state).
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	mustCreateProfile(t, s, 1)
+	ct := s.Begin()
+	h, _ := ct.WriteCollection("profile", idIndexer(), countIndexer())
+	it, _ := h.QueryExact(idIndexer(), IntKey(0))
+	it.Next()
+	m1, err := WriteAs[*Meter](it)
+	if err != nil {
+		t.Fatalf("first Write: %v", err)
+	}
+	m1.ViewCount = 10
+	m2, err := WriteAs[*Meter](it)
+	if err != nil {
+		t.Fatalf("second Write: %v", err)
+	}
+	if m1 != m2 {
+		t.Fatal("second Write returned a different object")
+	}
+	m2.ViewCount = 20
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The usage index reflects the final value only.
+	it2, _ := h.QueryExact(countIndexer(), IntKey(20))
+	if !it2.Next() {
+		t.Fatal("final key missing from index")
+	}
+	it2.Close()
+	it3, _ := h.QueryExact(countIndexer(), IntKey(10))
+	if it3.Next() {
+		t.Fatal("intermediate key leaked into index")
+	}
+	it3.Close()
+	ct.Commit(true)
+}
+
+func TestEmptyCollectionQueries(t *testing.T) {
+	e := newColEnv(t)
+	s := e.open(t)
+	defer s.ObjectStore().Close()
+	ct := s.Begin()
+	h, err := ct.CreateCollection("profile", idIndexer(), countIndexer())
+	if err != nil {
+		t.Fatalf("CreateCollection: %v", err)
+	}
+	for _, mk := range []func() (*Iterator, error){
+		func() (*Iterator, error) { return h.Query(idIndexer()) },
+		func() (*Iterator, error) { return h.QueryExact(idIndexer(), IntKey(1)) },
+		func() (*Iterator, error) { return h.QueryRange(countIndexer(), IntKey(0), IntKey(9)) },
+	} {
+		it, err := mk()
+		if err != nil {
+			t.Fatalf("query on empty collection: %v", err)
+		}
+		if it.Len() != 0 || it.Next() {
+			t.Fatal("empty collection produced results")
+		}
+		if err := it.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	ct.Commit(true)
+}

@@ -1,0 +1,169 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+
+	"tdb/internal/objectstore"
+)
+
+// IndexKind selects the index organization (paper §5.2.4).
+type IndexKind byte
+
+// Index organizations supported by the collection store.
+const (
+	// BTree supports scan, exact-match, and range queries in key order.
+	BTree IndexKind = 1
+	// HashTable is a dynamic (linear) hash table [20]: O(1) exact-match;
+	// scans enumerate in arbitrary order; no range queries.
+	HashTable IndexKind = 2
+	// List preserves insertion order and supports only scans; the cheapest
+	// choice for append-mostly collections such as audit logs.
+	List IndexKind = 3
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case BTree:
+		return "btree"
+	case HashTable:
+		return "hashtable"
+	case List:
+		return "list"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", byte(k))
+	}
+}
+
+// Errors returned by the collection store.
+var (
+	// ErrNoSuchCollection is returned when a named collection does not
+	// exist.
+	ErrNoSuchCollection = errors.New("collection: no such collection")
+	// ErrCollectionExists is returned when creating a collection under a
+	// taken name.
+	ErrCollectionExists = errors.New("collection: collection already exists")
+	// ErrNoSuchIndex is returned for queries against an index that was
+	// never created on the collection.
+	ErrNoSuchIndex = errors.New("collection: no such index")
+	// ErrIndexExists is returned when creating an index whose name is
+	// taken.
+	ErrIndexExists = errors.New("collection: index already exists")
+	// ErrLastIndex is returned when removing a collection's only index
+	// (paper Figure 6: "raises an exception if there is only one index").
+	ErrLastIndex = errors.New("collection: cannot remove the only index")
+	// ErrWrongSchema is returned when an object does not belong to the
+	// collection's schema class.
+	ErrWrongSchema = errors.New("collection: object does not match collection schema")
+	// ErrIteratorOpen is returned for operations that are illegal while
+	// iterators are open on the collection (insensitivity constraints,
+	// §5.2.2).
+	ErrIteratorOpen = errors.New("collection: operation illegal while an iterator is open")
+	// ErrIteratorClosed is returned when using a closed or exhausted
+	// iterator.
+	ErrIteratorClosed = errors.New("collection: iterator is closed")
+	// ErrReadonlyCollection is returned for mutating operations through a
+	// read-only collection reference.
+	ErrReadonlyCollection = errors.New("collection: collection opened read-only")
+	// ErrRangeUnsupported is returned for range queries on hash and list
+	// indexes.
+	ErrRangeUnsupported = errors.New("collection: index kind does not support range queries")
+)
+
+// UniqueViolationError reports objects removed from the collection because
+// deferred updates made them violate a unique index (paper §5.2.3: "the
+// collection store removes all objects that violate index integrity from
+// the collection and raises an exception ... so that the application can
+// re-integrate them").
+type UniqueViolationError struct {
+	// Index is the unique index that was violated.
+	Index string
+	// Removed lists the ids of objects removed from the collection. The
+	// objects still exist in the object store until the transaction ends;
+	// the application may fix and re-insert them.
+	Removed []objectstore.ObjectID
+}
+
+func (e *UniqueViolationError) Error() string {
+	return fmt.Sprintf("collection: deferred update violates unique index %q; removed %d object(s)", e.Index, len(e.Removed))
+}
+
+// GenericIndexer is the polymorphic view of an Indexer (paper §5.2.1: "all
+// instances of the Indexer class are required to inherit from
+// non-templatized class GenericIndexer"). Applications construct Indexer
+// values; the collection store uses this interface.
+type GenericIndexer interface {
+	// Name identifies the index on its collection.
+	Name() string
+	// Unique reports whether the index enforces key uniqueness.
+	Unique() bool
+	// Kind returns the index organization.
+	Kind() IndexKind
+	// Immutable declares that the extracted key of an object never changes
+	// after insertion. The collection store then skips the pre-update key
+	// snapshot and the deferred index comparison for this index — the
+	// storage/time optimization §5.2.3 describes ("allowing applications to
+	// declare index keys as immutable and forego recording of those keys").
+	// Updating an immutable key through an iterator is an unchecked
+	// programming error that corrupts the index.
+	Immutable() bool
+	// ExtractEncoded applies the extractor function and returns the
+	// encoded key. It fails with ErrWrongSchema if the object is not an
+	// instance of the indexer's schema class.
+	ExtractEncoded(obj objectstore.Object) ([]byte, error)
+}
+
+// Indexer describes one index over a collection of S objects with keys of
+// type K (paper §5.1.2: "the class is templatized by the collection schema
+// class, the index key class and the definition of the extractor
+// function"). S is the collection schema class: use a concrete object type
+// for fixed schemas, or an interface type to allow schema evolution — any
+// object implementing the interface can live in the collection, the Go
+// rendering of the paper's evolution-by-subclassing.
+//
+// Extract must be a pure function of its input (paper §5.1.1); the store
+// calls it at insert, at writable dereference (pre-update snapshot), and at
+// iterator close (post-update keys).
+type Indexer[S any, K Key] struct {
+	// IndexName names the index; unique per collection.
+	IndexName string
+	// IsUnique enforces key uniqueness.
+	IsUnique bool
+	// Organization selects B-tree, hash table, or list.
+	Organization IndexKind
+	// KeyImmutable declares the key never changes after insert (see
+	// GenericIndexer.Immutable).
+	KeyImmutable bool
+	// Extract computes the key from an object.
+	Extract func(S) K
+}
+
+// NewIndexer constructs an Indexer.
+func NewIndexer[S any, K Key](name string, unique bool, kind IndexKind, extract func(S) K) *Indexer[S, K] {
+	return &Indexer[S, K]{IndexName: name, IsUnique: unique, Organization: kind, Extract: extract}
+}
+
+// Name implements GenericIndexer.
+func (ix *Indexer[S, K]) Name() string { return ix.IndexName }
+
+// Unique implements GenericIndexer.
+func (ix *Indexer[S, K]) Unique() bool { return ix.IsUnique }
+
+// Kind implements GenericIndexer.
+func (ix *Indexer[S, K]) Kind() IndexKind { return ix.Organization }
+
+// Immutable implements GenericIndexer.
+func (ix *Indexer[S, K]) Immutable() bool { return ix.KeyImmutable }
+
+// ExtractEncoded implements GenericIndexer with the paper's runtime type
+// check of objects against the collection schema class (§5.2.1).
+func (ix *Indexer[S, K]) ExtractEncoded(obj objectstore.Object) ([]byte, error) {
+	s, ok := any(obj).(S)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T is not a %q schema object", ErrWrongSchema, obj, ix.IndexName)
+	}
+	if ix.Extract == nil {
+		return nil, fmt.Errorf("collection: indexer %q has no extractor", ix.IndexName)
+	}
+	return ix.Extract(s).Encode(), nil
+}

@@ -1,0 +1,205 @@
+package collection
+
+import (
+	"errors"
+	"fmt"
+
+	"tdb/internal/objectstore"
+)
+
+// List index (paper §5.2.4): preserves insertion order and supports only
+// scans. Appends touch the head node (tail pointer) and the tail node, so
+// audit-log style collections (like TPC-B's History) stay cheap to grow.
+
+// listNodeCapacity is the number of object ids per list node.
+const listNodeCapacity = 32
+
+// listNode is one node of the list. The head node additionally tracks the
+// tail for O(1) appends.
+type listNode struct {
+	OIDs []objectstore.ObjectID
+	Next objectstore.ObjectID
+	// Tail is meaningful only in the head node; NilObject means the head is
+	// the tail.
+	Tail objectstore.ObjectID
+}
+
+func (n *listNode) ClassID() objectstore.ClassID { return classListNode }
+
+func (n *listNode) Pickle(p *objectstore.Pickler) {
+	p.ObjectID(n.Next)
+	p.ObjectID(n.Tail)
+	p.ObjectIDs(n.OIDs)
+}
+
+func (n *listNode) Unpickle(u *objectstore.Unpickler) error {
+	n.Next = u.ObjectID()
+	n.Tail = u.ObjectID()
+	n.OIDs = u.ObjectIDs()
+	return u.Err()
+}
+
+// listIndex binds list operations to a transaction and index slot.
+type listIndex struct {
+	h   *Handle
+	idx int
+}
+
+func (lx *listIndex) root() objectstore.ObjectID { return lx.h.col.Indexes[lx.idx].Root }
+func (lx *listIndex) name() string               { return lx.h.col.Indexes[lx.idx].Name }
+func (lx *listIndex) unique() bool               { return lx.h.col.Indexes[lx.idx].Unique }
+
+// listCreate builds an empty list.
+func listCreate(t *objectstore.Txn) (objectstore.ObjectID, error) {
+	return t.Insert(&listNode{})
+}
+
+// insert appends the object id. List indexes ignore keys for placement;
+// uniqueness (rarely useful here, but allowed) is enforced by a scan.
+func (lx *listIndex) insert(key []byte, oid objectstore.ObjectID) error {
+	t := lx.h.ct.t
+	if lx.unique() {
+		dup := false
+		err := lx.scan(func(existing objectstore.ObjectID) error {
+			e, err := lx.h.extractFor(lx.idx, existing)
+			if err != nil {
+				return err
+			}
+			if string(e) == string(key) {
+				dup = true
+				return errStopScan
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if dup {
+			return fmt.Errorf("%w: index %q", ErrDuplicateKey, lx.name())
+		}
+	}
+	head, err := openAs[*listNode](t, lx.root(), true)
+	if err != nil {
+		return err
+	}
+	tailID := head.Tail
+	tail := head
+	if tailID != objectstore.NilObject {
+		tail, err = openAs[*listNode](t, tailID, true)
+		if err != nil {
+			return err
+		}
+	}
+	if len(tail.OIDs) < listNodeCapacity {
+		tail.OIDs = append(tail.OIDs, oid)
+		return nil
+	}
+	newID, err := t.Insert(&listNode{OIDs: []objectstore.ObjectID{oid}})
+	if err != nil {
+		return err
+	}
+	tail.Next = newID
+	head.Tail = newID
+	return nil
+}
+
+// remove deletes the first occurrence of oid (scan from the head).
+func (lx *listIndex) remove(key []byte, oid objectstore.ObjectID) error {
+	t := lx.h.ct.t
+	nodeID := lx.root()
+	for nodeID != objectstore.NilObject {
+		n, err := openAs[*listNode](t, nodeID, false)
+		if err != nil {
+			return err
+		}
+		for i, got := range n.OIDs {
+			if got == oid {
+				wn, err := openAs[*listNode](t, nodeID, true)
+				if err != nil {
+					return err
+				}
+				wn.OIDs = append(wn.OIDs[:i], wn.OIDs[i+1:]...)
+				return nil
+			}
+		}
+		nodeID = n.Next
+	}
+	return fmt.Errorf("collection: entry for object %d missing from index %q", oid, lx.name())
+}
+
+// containsKey scans for a matching key (used only for unique list indexes).
+func (lx *listIndex) containsKey(key []byte) (bool, error) {
+	found := false
+	err := lx.scan(func(existing objectstore.ObjectID) error {
+		e, err := lx.h.extractFor(lx.idx, existing)
+		if err != nil {
+			return err
+		}
+		if string(e) == string(key) {
+			found = true
+			return errStopScan
+		}
+		return nil
+	})
+	return found, err
+}
+
+// lookup visits entries whose extracted key matches (an O(n) scan; list
+// indexes exist for ordered scans, not point queries).
+func (lx *listIndex) lookup(key []byte, fn func(objectstore.ObjectID) error) error {
+	return lx.scan(func(oid objectstore.ObjectID) error {
+		e, err := lx.h.extractFor(lx.idx, oid)
+		if err != nil {
+			return err
+		}
+		if string(e) == string(key) {
+			return fn(oid)
+		}
+		return nil
+	})
+}
+
+// scan visits all entries in insertion order.
+func (lx *listIndex) scan(fn func(objectstore.ObjectID) error) error {
+	t := lx.h.ct.t
+	nodeID := lx.root()
+	for nodeID != objectstore.NilObject {
+		n, err := openAs[*listNode](t, nodeID, false)
+		if err != nil {
+			return err
+		}
+		for _, oid := range n.OIDs {
+			if err := fn(oid); err != nil {
+				if errors.Is(err, errStopScan) {
+					return nil
+				}
+				return err
+			}
+		}
+		nodeID = n.Next
+	}
+	return nil
+}
+
+// rangeScan is unsupported on lists.
+func (lx *listIndex) rangeScan(min, max []byte, fn func(objectstore.ObjectID) error) error {
+	return fmt.Errorf("%w: %q is a list", ErrRangeUnsupported, lx.name())
+}
+
+// destroy removes all nodes.
+func (lx *listIndex) destroy() error {
+	t := lx.h.ct.t
+	nodeID := lx.root()
+	for nodeID != objectstore.NilObject {
+		n, err := openAs[*listNode](t, nodeID, false)
+		if err != nil {
+			return err
+		}
+		next := n.Next
+		if err := t.Remove(nodeID); err != nil {
+			return err
+		}
+		nodeID = next
+	}
+	return nil
+}

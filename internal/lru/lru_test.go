@@ -1,0 +1,122 @@
+package lru
+
+import "testing"
+
+func TestPoolEvictsLRUOrder(t *testing.T) {
+	p := NewPool(100)
+	var evicted []string
+	mk := func(name string, size int64) *Entry {
+		return p.Add(size, func() bool {
+			evicted = append(evicted, name)
+			return true
+		})
+	}
+	a := mk("a", 40)
+	mk("b", 40)
+	if len(evicted) != 0 {
+		t.Fatalf("premature eviction: %v", evicted)
+	}
+	a.Touch() // a becomes MRU; b is now LRU
+	mk("c", 40)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if p.Used() != 80 {
+		t.Fatalf("used %d, want 80", p.Used())
+	}
+}
+
+func TestPoolPinPreventsEviction(t *testing.T) {
+	p := NewPool(50)
+	var evictedA, evictedB bool
+	a := p.Add(30, func() bool { evictedA = true; return true })
+	a.Pin()
+	b := p.Add(30, func() bool { evictedB = true; return true })
+	if evictedA {
+		t.Fatal("pinned entry evicted")
+	}
+	// b survives its own Add (self-eviction is forbidden); the next
+	// enforcement evicts it as the LRU unpinned entry.
+	if !b.Resident() {
+		t.Fatal("entry evicted during its own Add")
+	}
+	p.Add(10, func() bool { return true })
+	if !evictedB {
+		t.Fatal("unpinned entry should have been evicted by the next Add")
+	}
+	a.Unpin()
+	p.Add(30, func() bool { return true })
+	if !evictedA {
+		t.Fatal("entry should be evictable after unpin")
+	}
+}
+
+func TestPoolVeto(t *testing.T) {
+	p := NewPool(10)
+	p.Add(8, func() bool { return false }) // always vetoes
+	b := p.Add(8, func() bool { return true })
+	// b survives its own Add; a later enforcement skips the vetoing LRU
+	// entry and evicts b.
+	if !b.Resident() {
+		t.Fatal("entry evicted during its own Add")
+	}
+	p.Enforce()
+	if b.Resident() {
+		t.Fatal("expected b evicted after veto skip")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len %d, want 1 (the vetoing entry)", p.Len())
+	}
+}
+
+func TestPoolRemoveAndResize(t *testing.T) {
+	p := NewPool(100)
+	calls := 0
+	e := p.Add(60, func() bool { calls++; return true })
+	e.Resize(90)
+	if p.Used() != 90 {
+		t.Fatalf("used %d after resize", p.Used())
+	}
+	e.Remove()
+	if p.Used() != 0 || e.Resident() {
+		t.Fatalf("used %d resident %v after remove", p.Used(), e.Resident())
+	}
+	if calls != 0 {
+		t.Fatal("Remove must not invoke eviction callback")
+	}
+	e.Remove() // double remove is a no-op
+	e.Touch()  // touch after remove is a no-op
+	e.Resize(5)
+	if p.Used() != 0 {
+		t.Fatalf("resize after remove changed accounting: %d", p.Used())
+	}
+}
+
+func TestPoolUnlimitedBudget(t *testing.T) {
+	p := NewPool(0)
+	for i := 0; i < 100; i++ {
+		p.Add(1000, func() bool { t.Fatal("eviction with unlimited budget"); return true })
+	}
+	if p.Len() != 100 {
+		t.Fatalf("len %d", p.Len())
+	}
+}
+
+func TestPoolPinNesting(t *testing.T) {
+	p := NewPool(10)
+	e := p.Add(5, func() bool { return true })
+	e.Pin()
+	e.Pin()
+	e.Unpin()
+	if !e.Pinned() {
+		t.Fatal("entry should remain pinned after one of two unpins")
+	}
+	e.Unpin()
+	if e.Pinned() {
+		t.Fatal("entry should be unpinned")
+	}
+	e.Unpin() // extra unpin is a no-op
+	if e.Pinned() {
+		t.Fatal("unpin underflow")
+	}
+}

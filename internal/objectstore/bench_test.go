@@ -1,0 +1,125 @@
+package objectstore
+
+import (
+	"testing"
+	"time"
+
+	"tdb/internal/chunkstore"
+	"tdb/internal/lru"
+	"tdb/internal/platform"
+	"tdb/internal/sec"
+)
+
+// Micro-benchmarks of the object store, including the locking on/off
+// ablation §4.2.3 mentions ("the application may even switch off locking to
+// avoid the locking overhead in the absence of concurrent transactions").
+
+func benchObjectStore(b *testing.B, disableLocking bool) *Store {
+	b.Helper()
+	suite, err := sec.NewSuite("null", []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := lru.NewPool(16 << 20)
+	cs, err := chunkstore.Open(chunkstore.Config{
+		Store:     platform.NewMemStore(),
+		Suite:     suite,
+		CachePool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := testRegistry()
+	s, err := Open(Config{
+		Chunks:         cs,
+		Registry:       reg,
+		CachePool:      pool,
+		LockTimeout:    time.Second,
+		DisableLocking: disableLocking,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTxnUpdate measures a full update transaction (open writable,
+// mutate, durable commit) with locking on and off.
+func BenchmarkTxnUpdate(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		nolocks bool
+	}{{"locking", false}, {"no-locking", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := benchObjectStore(b, mode.nolocks)
+			defer s.Close()
+			t0 := s.Begin()
+			oid, err := t0.Insert(&Meter{ID: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := t0.Commit(true); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := s.Begin()
+				ref, err := OpenWritable[*Meter](txn, oid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref.Deref().ViewCount++
+				if err := txn.Commit(true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCachedRead measures reading a cached object (the hot path:
+// decrypted, validated, unpickled once, then served from the object cache).
+func BenchmarkCachedRead(b *testing.B) {
+	s := benchObjectStore(b, true)
+	defer s.Close()
+	t0 := s.Begin()
+	oid, _ := t0.Insert(&Meter{ID: 1, ViewCount: 2})
+	t0.Commit(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := s.Begin()
+		ref, err := OpenReadonly[*Meter](txn, oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ref.Deref().ID != 1 {
+			b.Fatal("wrong object")
+		}
+		txn.Abort()
+	}
+}
+
+// BenchmarkPickle measures the hand-rolled pickling path used by hot
+// classes (vs. the gob convenience path).
+func BenchmarkPickle(b *testing.B) {
+	m := &Meter{ID: 7, ViewCount: 100, PrintCount: 3}
+	b.Run("manual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := NewPickler()
+			m.Pickle(p)
+			if p.Len() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	g := &GobThing{Data: map[string]int{"views": 100, "prints": 3}}
+	b.Run("gob", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := NewPickler()
+			g.Pickle(p)
+			if p.Len() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package objectstore
+
+import (
+	"sync"
+	"time"
+)
+
+// Transactional isolation uses shared/exclusive locks over objects with
+// strict two-phase locking (paper §4.2.3): locks are taken when objects are
+// opened and released only after the transaction ends. A blocked acquire
+// times out to break potential deadlocks (§4.1); the application may retry
+// the operation or abort the transaction.
+//
+// While a transaction waits for a lock, the store's state mutex is released
+// so other transactions can proceed to commit (§4.2.3's discussion of the
+// state mutex / transactional lock interaction).
+
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// objLock is the lock state for one object id.
+type objLock struct {
+	// sharers holds transactions with shared access.
+	sharers map[*Txn]struct{}
+	// exclusive is the transaction holding exclusive access, if any.
+	exclusive *Txn
+	// waiters are signalled (closed) whenever the lock state changes.
+	waiters []chan struct{}
+}
+
+// lockTable manages per-object locks. All methods are called with the
+// store's state mutex held; waiting releases it.
+type lockTable struct {
+	locks map[ObjectID]*objLock
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: make(map[ObjectID]*objLock)}
+}
+
+func (lt *lockTable) get(oid ObjectID) *objLock {
+	l, ok := lt.locks[oid]
+	if !ok {
+		l = &objLock{sharers: make(map[*Txn]struct{})}
+		lt.locks[oid] = l
+	}
+	return l
+}
+
+// grantable reports whether t can take the lock in the given mode now.
+func (l *objLock) grantable(t *Txn, mode lockMode) bool {
+	if mode == lockShared {
+		return l.exclusive == nil || l.exclusive == t
+	}
+	// Exclusive: no other holder of any kind.
+	if l.exclusive != nil && l.exclusive != t {
+		return false
+	}
+	for sharer := range l.sharers {
+		if sharer != t {
+			return false
+		}
+	}
+	return true
+}
+
+// grant records the lock (handling shared→exclusive upgrade).
+func (l *objLock) grant(t *Txn, mode lockMode) {
+	if mode == lockShared {
+		if l.exclusive != t {
+			l.sharers[t] = struct{}{}
+		}
+		return
+	}
+	delete(l.sharers, t) // upgrade consumes the shared hold
+	l.exclusive = t
+}
+
+// notify wakes all waiters.
+func (l *objLock) notify() {
+	for _, w := range l.waiters {
+		close(w)
+	}
+	l.waiters = nil
+}
+
+// acquire takes the lock for t, blocking (with the state mutex released) up
+// to timeout. mu is the store's state mutex, held on entry and on return.
+func (lt *lockTable) acquire(mu *sync.Mutex, t *Txn, oid ObjectID, mode lockMode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		l := lt.get(oid)
+		if l.grantable(t, mode) {
+			l.grant(t, mode)
+			t.noteLock(oid, mode)
+			return nil
+		}
+		w := make(chan struct{})
+		l.waiters = append(l.waiters, w)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrLockTimeout
+		}
+		timer := time.NewTimer(remaining)
+		mu.Unlock()
+		select {
+		case <-w:
+			timer.Stop()
+		case <-timer.C:
+			mu.Lock()
+			return ErrLockTimeout
+		}
+		mu.Lock()
+	}
+}
+
+// release drops every lock held by t and wakes waiters.
+func (lt *lockTable) release(t *Txn) {
+	for oid := range t.locks {
+		l, ok := lt.locks[oid]
+		if !ok {
+			continue
+		}
+		delete(l.sharers, t)
+		if l.exclusive == t {
+			l.exclusive = nil
+		}
+		l.notify()
+		if l.exclusive == nil && len(l.sharers) == 0 && len(l.waiters) == 0 {
+			delete(lt.locks, oid)
+		}
+	}
+}
+
+// holds reports the mode t currently holds on oid (ok=false when none).
+func (lt *lockTable) holds(t *Txn, oid ObjectID) (lockMode, bool) {
+	l, ok := lt.locks[oid]
+	if !ok {
+		return 0, false
+	}
+	if l.exclusive == t {
+		return lockExclusive, true
+	}
+	if _, ok := l.sharers[t]; ok {
+		return lockShared, true
+	}
+	return 0, false
+}

@@ -1,0 +1,122 @@
+package objectstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests (testing/quick) on the pickling layer: the architecture-
+// independent encodings must round-trip exactly for arbitrary values.
+
+func TestQuickPickleRoundTrip(t *testing.T) {
+	f := func(u32 uint32, u64 uint64, i32 int32, i64 int64, b bool, by byte,
+		f64 float64, bs []byte, s string, oid uint64, oids []uint64) bool {
+		p := NewPickler()
+		p.Uint32(u32)
+		p.Uint64(u64)
+		p.Int32(i32)
+		p.Int64(i64)
+		p.Bool(b)
+		p.Byte(by)
+		p.Float64(f64)
+		p.BytesVal(bs)
+		p.String(s)
+		p.ObjectID(ObjectID(oid))
+		ids := make([]ObjectID, len(oids))
+		for i, v := range oids {
+			ids[i] = ObjectID(v)
+		}
+		p.ObjectIDs(ids)
+
+		u := NewUnpickler(p.Bytes())
+		if u.Uint32() != u32 || u.Uint64() != u64 || u.Int32() != i32 || u.Int64() != i64 {
+			return false
+		}
+		if u.Bool() != b || u.Byte() != by {
+			return false
+		}
+		gf := u.Float64()
+		if gf != f64 && !(gf != gf && f64 != f64) { // NaN round-trips as NaN
+			return false
+		}
+		gbs := u.BytesVal()
+		if !bytes.Equal(gbs, bs) && !(len(gbs) == 0 && len(bs) == 0) {
+			return false
+		}
+		if u.String() != s || u.ObjectID() != ObjectID(oid) {
+			return false
+		}
+		gids := u.ObjectIDs()
+		if len(gids) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if gids[i] != ids[i] {
+				return false
+			}
+		}
+		return u.Err() == nil && u.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnpicklerNeverPanics feeds random garbage through every decoder;
+// corrupt inputs must produce sticky errors, never panics or hangs.
+func TestQuickUnpicklerNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		u := NewUnpickler(data)
+		_ = u.Uint32()
+		_ = u.String()
+		_ = u.ObjectIDs()
+		_ = u.BytesVal()
+		_ = u.Float64()
+		_ = u.Bool()
+		_ = u.RawBytes(8)
+		_ = u.Err()
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickObjectRoundTripThroughStore property-tests full persist/load
+// cycles of objects with arbitrary field values.
+func TestQuickObjectRoundTripThroughStore(t *testing.T) {
+	e := newOSEnv(t)
+	s := e.open(t)
+	defer s.Close()
+	f := func(id, views, prints int32) bool {
+		txn := s.Begin()
+		oid, err := txn.Insert(&Meter{ID: id, ViewCount: views, PrintCount: prints})
+		if err != nil {
+			return false
+		}
+		if err := txn.Commit(false); err != nil {
+			return false
+		}
+		txn2 := s.Begin()
+		defer txn2.Abort()
+		ref, err := OpenReadonly[*Meter](txn2, oid)
+		if err != nil {
+			return false
+		}
+		m := ref.Deref()
+		return m.ID == id && m.ViewCount == views && m.PrintCount == prints
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package objectstore
+
+import "fmt"
+
+// Refs are typed handles to open objects, mirroring the paper's smart
+// pointers (§4.1): a Ref is valid only until the transaction it was created
+// in commits or aborts; any later dereference is a checked runtime error
+// (panic). This forces the application to reopen — and therefore re-lock —
+// objects in each transaction, which is exactly the guard rail the paper
+// builds: "a reference from a previous transaction is not accidentally
+// reused".
+//
+// ReadonlyRef corresponds to Ref<const T>: the referenced object must not
+// be mutated. Go cannot enforce that statically; Config.ReadonlyChecks adds
+// a dynamic verification.
+
+// ReadonlyRef is a read-only view of an object of type T.
+type ReadonlyRef[T Object] struct {
+	txn *Txn
+	obj T
+}
+
+// WritableRef is a writable view of an object of type T.
+type WritableRef[T Object] struct {
+	txn *Txn
+	obj T
+}
+
+// OpenReadonly opens the object in read-only mode with static type T,
+// checking the object's real class dynamically — the paper's
+// copy-construction rule between Ref types ("the attempt to construct
+// Ref<MyObject> would fail with a checked runtime error" when classes
+// mismatch).
+func OpenReadonly[T Object](t *Txn, oid ObjectID) (ReadonlyRef[T], error) {
+	obj, err := t.OpenReadonly(oid)
+	if err != nil {
+		return ReadonlyRef[T]{}, err
+	}
+	typed, ok := obj.(T)
+	if !ok {
+		return ReadonlyRef[T]{}, fmt.Errorf("%w: object %d is %T", ErrWrongClass, oid, obj)
+	}
+	return ReadonlyRef[T]{txn: t, obj: typed}, nil
+}
+
+// OpenWritable opens the object in read-write mode with static type T.
+func OpenWritable[T Object](t *Txn, oid ObjectID) (WritableRef[T], error) {
+	obj, err := t.OpenWritable(oid)
+	if err != nil {
+		return WritableRef[T]{}, err
+	}
+	typed, ok := obj.(T)
+	if !ok {
+		return WritableRef[T]{}, fmt.Errorf("%w: object %d is %T", ErrWrongClass, oid, obj)
+	}
+	return WritableRef[T]{txn: t, obj: typed}, nil
+}
+
+// Deref returns the referenced object. Dereferencing after the owning
+// transaction ended panics with ErrTxnDone — the checked runtime error of
+// §4.1.
+func (r ReadonlyRef[T]) Deref() T {
+	if r.txn == nil || !r.txn.Active() {
+		panic(ErrTxnDone)
+	}
+	return r.obj
+}
+
+// Valid reports whether the reference can still be dereferenced.
+func (r ReadonlyRef[T]) Valid() bool { return r.txn != nil && r.txn.Active() }
+
+// Deref returns the referenced object for reading and writing. It panics
+// with ErrTxnDone after the owning transaction ended.
+func (r WritableRef[T]) Deref() T {
+	if r.txn == nil || !r.txn.Active() {
+		panic(ErrTxnDone)
+	}
+	return r.obj
+}
+
+// Valid reports whether the reference can still be dereferenced.
+func (r WritableRef[T]) Valid() bool { return r.txn != nil && r.txn.Active() }
+
+// Readonly converts a writable reference to a read-only one (the inverse
+// direction is not provided: upgrading requires reopening, which takes the
+// exclusive lock).
+func (r WritableRef[T]) Readonly() ReadonlyRef[T] {
+	return ReadonlyRef[T]{txn: r.txn, obj: r.obj}
+}

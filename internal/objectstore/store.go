@@ -1,0 +1,226 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tdb/internal/chunkstore"
+	"tdb/internal/lru"
+)
+
+// Config configures an object store.
+type Config struct {
+	// Chunks is the underlying chunk store. The object store assumes
+	// ownership: no other component may allocate or write chunks in it.
+	Chunks *chunkstore.Store
+	// Registry resolves class ids during unpickling. Required.
+	Registry *Registry
+	// CachePool is the LRU pool for the object cache; pass the same pool as
+	// the chunk store's to share one budget between the object cache and
+	// the location map cache (paper §4.2.2). If nil a private 4 MiB pool is
+	// created.
+	CachePool *lru.Pool
+	// LockTimeout bounds lock waits; expiry breaks deadlocks (paper §4.1,
+	// "the timeout interval can be tuned by the application"). Default
+	// 250 ms.
+	LockTimeout time.Duration
+	// DisableLocking turns transactional locking off entirely "to avoid the
+	// locking overhead in the absence of concurrent transactions" (§4.2.3).
+	DisableLocking bool
+	// ReadonlyChecks enables a debug validation that objects opened
+	// read-only were not mutated (Go cannot enforce const statically the
+	// way the paper's C++ Refs do).
+	ReadonlyChecks bool
+}
+
+// Store is the object store. Its single state mutex serializes operations;
+// the mutex is released while a transaction waits on an object lock
+// (paper §4.2.3).
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+
+	chunks *chunkstore.Store
+	locks  *lockTable
+	cache  map[ObjectID]*cacheEntry
+
+	// rootChunk holds the persistent root object pointer (paper §4.1: "the
+	// application can register a 'root' object id with the object store").
+	rootChunk chunkstore.ChunkID
+	rootOID   ObjectID
+
+	// txnSeq numbers transactions (diagnostics only).
+	txnSeq uint64
+	closed bool
+}
+
+// cacheEntry is one cached, unpickled object (paper §4.2.2). Caching
+// unpickled objects — decrypted, validated, type-checked — avoids double
+// caching in the application.
+type cacheEntry struct {
+	oid   ObjectID
+	obj   Object
+	size  int64
+	ent   *lru.Entry
+	dirty bool
+}
+
+// Open initializes the object store over a chunk store. A fresh chunk store
+// is formatted with a root-pointer chunk; an existing one must have been
+// created by an object store with the same layout.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Chunks == nil {
+		return nil, errors.New("objectstore: config requires a chunk store")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("objectstore: config requires a class registry")
+	}
+	if cfg.CachePool == nil {
+		cfg.CachePool = lru.NewPool(4 << 20)
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 250 * time.Millisecond
+	}
+	s := &Store{
+		cfg:    cfg,
+		chunks: cfg.Chunks,
+		locks:  newLockTable(),
+		cache:  make(map[ObjectID]*cacheEntry),
+	}
+	if err := s.initRoot(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rootChunkID is the well-known chunk holding the root object pointer. It
+// is the first chunk the object store allocates in a fresh database.
+const rootChunkID = chunkstore.ChunkID(1)
+
+func (s *Store) initRoot() error {
+	data, err := s.chunks.Read(rootChunkID)
+	if err == nil {
+		u := NewUnpickler(data)
+		s.rootOID = u.ObjectID()
+		if uerr := u.Err(); uerr != nil {
+			return fmt.Errorf("objectstore: corrupt root pointer: %w", uerr)
+		}
+		s.rootChunk = rootChunkID
+		return nil
+	}
+	if errors.Is(err, chunkstore.ErrNotAllocated) {
+		// Fresh database: claim chunk 1 for the root pointer.
+		cid, aerr := s.chunks.AllocateChunkID()
+		if aerr != nil {
+			return aerr
+		}
+		if cid != rootChunkID {
+			return fmt.Errorf("objectstore: chunk store is not fresh (first id %d); refusing to share it", cid)
+		}
+		p := NewPickler()
+		p.ObjectID(NilObject)
+		b := s.chunks.NewBatch()
+		b.Write(cid, p.Bytes())
+		if cerr := s.chunks.Commit(b, true); cerr != nil {
+			return cerr
+		}
+		s.rootChunk = cid
+		s.rootOID = NilObject
+		return nil
+	}
+	return err
+}
+
+// Close flushes and closes the underlying chunk store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.chunks.Close()
+}
+
+// Chunks exposes the underlying chunk store (for backups and stats).
+func (s *Store) Chunks() *chunkstore.Store { return s.chunks }
+
+// Root returns the registered root object id (NilObject if none).
+func (s *Store) Root() ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rootOID
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.txnSeq++
+	return &Txn{
+		s:      s,
+		id:     s.txnSeq,
+		active: true,
+		locks:  make(map[ObjectID]lockMode),
+		opened: make(map[ObjectID]*txnObject),
+	}
+}
+
+// lookup returns the cached entry for oid, faulting it in from the chunk
+// store if needed. Caller holds s.mu.
+func (s *Store) lookup(oid ObjectID) (*cacheEntry, error) {
+	if e, ok := s.cache[oid]; ok {
+		e.ent.Touch()
+		return e, nil
+	}
+	data, err := s.chunks.Read(chunkstore.ChunkID(oid))
+	if err != nil {
+		if errors.Is(err, chunkstore.ErrNotAllocated) || errors.Is(err, chunkstore.ErrNotWritten) {
+			return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
+		}
+		return nil, err
+	}
+	obj, err := unpickleObject(s.cfg.Registry, data)
+	if err != nil {
+		return nil, err
+	}
+	e := s.addToCache(oid, obj, int64(len(data)))
+	return e, nil
+}
+
+// addToCache registers an object in the cache.
+func (s *Store) addToCache(oid ObjectID, obj Object, size int64) *cacheEntry {
+	e := &cacheEntry{oid: oid, obj: obj, size: size}
+	e.ent = s.cfg.CachePool.Add(size+64, func() bool {
+		if e.dirty {
+			return false // no-steal: dirty objects stay until commit (§4.2.2)
+		}
+		delete(s.cache, oid)
+		return true
+	})
+	s.cache[oid] = e
+	return e
+}
+
+// dropFromCache removes an entry (aborted insert/write, committed removal).
+func (s *Store) dropFromCache(oid ObjectID) {
+	if e, ok := s.cache[oid]; ok {
+		e.ent.Remove()
+		delete(s.cache, oid)
+	}
+}
+
+// Stats reports cache occupancy.
+type Stats struct {
+	CachedObjects int
+	CacheBytes    int64
+}
+
+// Stats returns object cache statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{CachedObjects: len(s.cache), CacheBytes: s.cfg.CachePool.Used()}
+}

@@ -1,0 +1,317 @@
+package objectstore
+
+import (
+	"fmt"
+
+	"tdb/internal/chunkstore"
+)
+
+// Txn is a transaction (paper Figure 3). Object accesses must go through a
+// transaction; each executes atomically with respect to concurrent
+// transactions (strict two-phase locking) and crashes (the chunk store's
+// atomic commit). Transactions may run concurrently in different
+// goroutines; a single Txn is not itself meant for concurrent use by
+// multiple goroutines.
+type Txn struct {
+	s      *Store
+	id     uint64
+	active bool
+	// locks tracks held lock modes for release and upgrade decisions.
+	locks map[ObjectID]lockMode
+	// opened tracks every object touched by this transaction.
+	opened map[ObjectID]*txnObject
+	// rootSet stages a root-pointer update.
+	rootSet bool
+	rootOID ObjectID
+}
+
+// txnObject is the per-transaction state of one object.
+type txnObject struct {
+	entry *cacheEntry
+	// inserted, written, removed reflect the operations performed.
+	inserted bool
+	written  bool
+	removed  bool
+	// prePickle holds the pickled state at first writable open; objects
+	// whose state is byte-identical at commit are not rewritten, keeping
+	// log traffic proportional to actual modifications (cf. §4.2.1's
+	// "only modified objects are written to the log").
+	prePickle []byte
+	// roSnapshot holds the pickled state at first read-only open, for the
+	// optional mutation check.
+	roSnapshot []byte
+}
+
+// noteLock records a granted lock (called by the lock table).
+func (t *Txn) noteLock(oid ObjectID, mode lockMode) {
+	if cur, ok := t.locks[oid]; !ok || mode == lockExclusive && cur == lockShared {
+		t.locks[oid] = mode
+	}
+}
+
+// lock acquires an object lock unless locking is disabled.
+func (t *Txn) lock(oid ObjectID, mode lockMode) error {
+	if t.s.cfg.DisableLocking {
+		return nil
+	}
+	if cur, ok := t.locks[oid]; ok && (cur == lockExclusive || mode == lockShared) {
+		return nil // already held in a sufficient mode
+	}
+	return t.s.locks.acquire(&t.s.mu, t, oid, mode, t.s.cfg.LockTimeout)
+}
+
+// Insert stores a new object and returns its persistent id (paper Figure
+// 3). The object is cached and pinned until the transaction ends; the id is
+// the id of the chunk that will hold it (§4.2.1).
+func (t *Txn) Insert(obj Object) (ObjectID, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return NilObject, ErrTxnDone
+	}
+	if obj == nil {
+		return NilObject, fmt.Errorf("objectstore: inserting nil object")
+	}
+	cid, err := t.s.chunks.AllocateChunkID()
+	if err != nil {
+		return NilObject, err
+	}
+	oid := ObjectID(cid)
+	if err := t.lock(oid, lockExclusive); err != nil {
+		// Fresh id: nobody else can hold it; a timeout here is unexpected
+		// but handled uniformly.
+		t.s.chunks.Release(cid)
+		return NilObject, err
+	}
+	e := t.s.addToCache(oid, obj, int64(64)) // size refined at commit
+	e.dirty = true
+	e.ent.Pin()
+	t.opened[oid] = &txnObject{entry: e, inserted: true, written: true}
+	return oid, nil
+}
+
+// OpenReadonly opens an object for reading under a shared lock. The
+// returned object must not be modified; enable Config.ReadonlyChecks to
+// verify that during development.
+func (t *Txn) OpenReadonly(oid ObjectID) (Object, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.open(oid, lockShared)
+}
+
+// OpenWritable opens an object for reading and writing under an exclusive
+// lock. Mutations become persistent when the transaction commits.
+func (t *Txn) OpenWritable(oid ObjectID) (Object, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.open(oid, lockExclusive)
+}
+
+func (t *Txn) open(oid ObjectID, mode lockMode) (Object, error) {
+	if !t.active {
+		return nil, ErrTxnDone
+	}
+	if oid == NilObject {
+		return nil, fmt.Errorf("%w: nil object id", ErrNotFound)
+	}
+	if err := t.lock(oid, mode); err != nil {
+		return nil, err
+	}
+	to, ok := t.opened[oid]
+	if ok && to.removed {
+		return nil, fmt.Errorf("%w: %d (removed in this transaction)", ErrNotFound, oid)
+	}
+	if !ok {
+		e, err := t.s.lookup(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.ent.Pin()
+		to = &txnObject{entry: e}
+		t.opened[oid] = to
+	}
+	if mode == lockExclusive {
+		if !to.written {
+			to.written = true
+			to.entry.dirty = true
+			if !to.inserted {
+				to.prePickle = pickleObject(to.entry.obj)
+			}
+		}
+	} else if t.s.cfg.ReadonlyChecks && !to.written && to.roSnapshot == nil {
+		to.roSnapshot = pickleObject(to.entry.obj)
+	}
+	return to.entry.obj, nil
+}
+
+// Remove deletes the named object and frees its id for reuse (paper Figure
+// 3). The removal becomes persistent at commit.
+func (t *Txn) Remove(oid ObjectID) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	if err := t.lock(oid, lockExclusive); err != nil {
+		return err
+	}
+	to, ok := t.opened[oid]
+	if ok && to.removed {
+		return fmt.Errorf("%w: %d (already removed)", ErrNotFound, oid)
+	}
+	if !ok {
+		e, err := t.s.lookup(oid)
+		if err != nil {
+			return err
+		}
+		e.ent.Pin()
+		to = &txnObject{entry: e}
+		t.opened[oid] = to
+	}
+	to.removed = true
+	return nil
+}
+
+// SetRoot stages the registration of oid as the database root object; the
+// update commits with the transaction.
+func (t *Txn) SetRoot(oid ObjectID) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	t.rootSet = true
+	t.rootOID = oid
+	return nil
+}
+
+// Root reads the root object id as seen by this transaction.
+func (t *Txn) Root() (ObjectID, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return NilObject, ErrTxnDone
+	}
+	if t.rootSet {
+		return t.rootOID, nil
+	}
+	return t.s.rootOID, nil
+}
+
+// Active reports whether the transaction can still be used.
+func (t *Txn) Active() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.active
+}
+
+// Commit makes the transaction's effects persistent (paper Figure 3:
+// commits inserted and written objects and removals). With durable set the
+// commit — and all previous nondurable commits — survives crashes.
+// The transaction and all references derived from it become invalid.
+func (t *Txn) Commit(durable bool) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return ErrTxnDone
+	}
+	// Optional §4.1-style const check: objects opened read-only must be
+	// byte-identical to their state at open.
+	if t.s.cfg.ReadonlyChecks {
+		for oid, to := range t.opened {
+			if to.roSnapshot == nil || to.written || to.removed {
+				continue
+			}
+			if string(pickleObject(to.entry.obj)) != string(to.roSnapshot) {
+				// Evict the poisoned cache entry so the next open refetches
+				// the committed state, then fail the transaction.
+				t.finish(true)
+				t.s.dropFromCache(oid)
+				return fmt.Errorf("%w: object %d", ErrReadonlyViolation, oid)
+			}
+		}
+	}
+	batch := t.s.chunks.NewBatch()
+	var unusedIDs []chunkstore.ChunkID
+	for oid, to := range t.opened {
+		switch {
+		case to.removed && to.inserted:
+			// Inserted and removed in the same transaction: nothing to
+			// persist; the id goes back to the allocator on success.
+			unusedIDs = append(unusedIDs, chunkstore.ChunkID(oid))
+		case to.removed:
+			batch.Deallocate(chunkstore.ChunkID(oid))
+		case to.written:
+			data := pickleObject(to.entry.obj)
+			if to.prePickle != nil && string(data) == string(to.prePickle) {
+				// Opened writable but never actually changed: skip the
+				// write, but the entry is clean again.
+				to.written = false
+				continue
+			}
+			batch.Write(chunkstore.ChunkID(oid), data)
+			to.entry.size = int64(len(data))
+		}
+	}
+	if t.rootSet && t.rootOID != t.s.rootOID {
+		p := NewPickler()
+		p.ObjectID(t.rootOID)
+		batch.Write(t.s.rootChunk, p.Bytes())
+	}
+	if err := t.s.chunks.Commit(batch, durable); err != nil {
+		// The chunk store applied nothing; keep the transaction active so
+		// the application can retry or abort.
+		return err
+	}
+	// Publish results.
+	if t.rootSet {
+		t.s.rootOID = t.rootOID
+	}
+	for _, cid := range unusedIDs {
+		t.s.chunks.Release(cid)
+	}
+	for oid, to := range t.opened {
+		if to.removed {
+			t.s.dropFromCache(oid)
+		} else if to.written {
+			to.entry.dirty = false
+			to.entry.ent.Resize(to.entry.size + 64)
+		}
+	}
+	t.finish(false)
+	return nil
+}
+
+// Abort undoes the transaction (paper Figure 3): objects opened for writing
+// are evicted from the cache (their in-memory state was mutated in place),
+// chunk ids of inserted objects are released, and all locks drop (§4.2.3).
+func (t *Txn) Abort() {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if !t.active {
+		return
+	}
+	t.finish(true)
+}
+
+// finish releases pins and locks; with evictWritten it also discards
+// mutated cache entries. Caller holds s.mu.
+func (t *Txn) finish(evictWritten bool) {
+	for oid, to := range t.opened {
+		to.entry.ent.Unpin()
+		if evictWritten {
+			if to.inserted {
+				t.s.dropFromCache(oid)
+				t.s.chunks.Release(chunkstore.ChunkID(oid))
+			} else if to.written {
+				// The cached object may have uncommitted mutations; drop it
+				// so the next open refetches committed state.
+				t.s.dropFromCache(oid)
+			}
+		}
+	}
+	if !t.s.cfg.DisableLocking {
+		t.s.locks.release(t)
+	}
+	t.active = false
+}

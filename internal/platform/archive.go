@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemArchive is an in-memory ArchivalStore for tests. It also exposes
+// Corrupt so the backup tests can model an attacker editing a backup.
+type MemArchive struct {
+	mu      sync.Mutex
+	streams map[string][]byte
+}
+
+// NewMemArchive returns an empty archival store.
+func NewMemArchive() *MemArchive {
+	return &MemArchive{streams: make(map[string][]byte)}
+}
+
+// CreateStream implements ArchivalStore.
+func (a *MemArchive) CreateStream(name string) (ArchivalStream, error) {
+	return &memStream{archive: a, name: name, writing: true}, nil
+}
+
+// OpenStream implements ArchivalStore.
+func (a *MemArchive) OpenStream(name string) (ArchivalStream, error) {
+	a.mu.Lock()
+	data, ok := a.streams[name]
+	a.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("platform: open stream %q: %w", name, ErrNotFound)
+	}
+	return &memStream{archive: a, name: name, reader: bytes.NewReader(data)}, nil
+}
+
+// RemoveStream implements ArchivalStore.
+func (a *MemArchive) RemoveStream(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.streams[name]; !ok {
+		return fmt.Errorf("platform: remove stream %q: %w", name, ErrNotFound)
+	}
+	delete(a.streams, name)
+	return nil
+}
+
+// ListStreams implements ArchivalStore.
+func (a *MemArchive) ListStreams() ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.streams))
+	for n := range a.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Corrupt flips a byte of a stored stream, modeling attacker tampering.
+func (a *MemArchive) Corrupt(name string, off int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	data, ok := a.streams[name]
+	if !ok {
+		return fmt.Errorf("platform: corrupt stream %q: %w", name, ErrNotFound)
+	}
+	if off < 0 || off >= int64(len(data)) {
+		return fmt.Errorf("platform: corrupt stream %q: offset %d out of range", name, off)
+	}
+	data[off] ^= 0xff
+	return nil
+}
+
+// StreamSize returns the size of a stored stream in bytes.
+func (a *MemArchive) StreamSize(name string) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	data, ok := a.streams[name]
+	if !ok {
+		return 0, fmt.Errorf("platform: stream %q: %w", name, ErrNotFound)
+	}
+	return int64(len(data)), nil
+}
+
+type memStream struct {
+	archive *MemArchive
+	name    string
+	writing bool
+	buf     bytes.Buffer
+	reader  *bytes.Reader
+	closed  bool
+}
+
+func (s *memStream) Read(p []byte) (int, error) {
+	if s.writing || s.reader == nil {
+		return 0, errors.New("platform: stream opened for writing")
+	}
+	return s.reader.Read(p)
+}
+
+func (s *memStream) Write(p []byte) (int, error) {
+	if !s.writing {
+		return 0, errors.New("platform: stream opened for reading")
+	}
+	return s.buf.Write(p)
+}
+
+func (s *memStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.writing {
+		s.archive.mu.Lock()
+		s.archive.streams[s.name] = append([]byte(nil), s.buf.Bytes()...)
+		s.archive.mu.Unlock()
+	}
+	return nil
+}
+
+// DirArchive is an ArchivalStore backed by files in a host directory.
+type DirArchive struct {
+	dir string
+}
+
+// NewDirArchive opens (creating if necessary) a directory-backed archive.
+func NewDirArchive(dir string) (*DirArchive, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("platform: creating archive directory: %w", err)
+	}
+	return &DirArchive{dir: dir}, nil
+}
+
+func (a *DirArchive) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("platform: invalid stream name %q", name)
+	}
+	return filepath.Join(a.dir, name), nil
+}
+
+// CreateStream implements ArchivalStore.
+func (a *DirArchive) CreateStream(name string) (ArchivalStream, error) {
+	p, err := a.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("platform: create stream %q: %w", name, err)
+	}
+	return &dirStream{f: f, writing: true}, nil
+}
+
+// OpenStream implements ArchivalStore.
+func (a *DirArchive) OpenStream(name string) (ArchivalStream, error) {
+	p, err := a.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("platform: open stream %q: %w", name, ErrNotFound)
+		}
+		return nil, fmt.Errorf("platform: open stream %q: %w", name, err)
+	}
+	return &dirStream{f: f}, nil
+}
+
+// RemoveStream implements ArchivalStore.
+func (a *DirArchive) RemoveStream(name string) error {
+	p, err := a.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("platform: remove stream %q: %w", name, ErrNotFound)
+		}
+		return err
+	}
+	return nil
+}
+
+// ListStreams implements ArchivalStore.
+func (a *DirArchive) ListStreams() ([]string, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("platform: listing archive: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+type dirStream struct {
+	f       *os.File
+	writing bool
+}
+
+func (s *dirStream) Read(p []byte) (int, error) {
+	if s.writing {
+		return 0, errors.New("platform: stream opened for writing")
+	}
+	return s.f.Read(p)
+}
+
+func (s *dirStream) Write(p []byte) (int, error) {
+	if !s.writing {
+		return 0, errors.New("platform: stream opened for reading")
+	}
+	return s.f.Write(p)
+}
+
+func (s *dirStream) Close() error {
+	if s.writing {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return err
+		}
+	}
+	return s.f.Close()
+}
+
+var _ io.ReadWriteCloser = (*memStream)(nil)

@@ -1,0 +1,130 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirStore is an UntrustedStore backed by a directory in the host file
+// system. Each store file is one host file. Names may not contain path
+// separators.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if necessary) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("platform: creating store directory: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory path.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("platform: invalid file name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Create implements UntrustedStore.
+func (s *DirStore) Create(name string) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("platform: create %q: %w", name, ErrExists)
+		}
+		return nil, fmt.Errorf("platform: create %q: %w", name, err)
+	}
+	return &dirFile{f: f}, nil
+}
+
+// Open implements UntrustedStore.
+func (s *DirStore) Open(name string) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_RDWR, 0o600)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("platform: open %q: %w", name, ErrNotFound)
+		}
+		return nil, fmt.Errorf("platform: open %q: %w", name, err)
+	}
+	return &dirFile{f: f}, nil
+}
+
+// Remove implements UntrustedStore.
+func (s *DirStore) Remove(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("platform: remove %q: %w", name, ErrNotFound)
+		}
+		return fmt.Errorf("platform: remove %q: %w", name, err)
+	}
+	return nil
+}
+
+// List implements UntrustedStore.
+func (s *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("platform: listing store: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Sync implements UntrustedStore by syncing the directory itself so that
+// creations and removals are durable.
+func (s *DirStore) Sync() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("platform: syncing store directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("platform: syncing store directory: %w", err)
+	}
+	return nil
+}
+
+type dirFile struct {
+	f *os.File
+}
+
+func (f *dirFile) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p, off) }
+func (f *dirFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+
+func (f *dirFile) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (f *dirFile) Truncate(size int64) error { return f.f.Truncate(size) }
+func (f *dirFile) Sync() error               { return f.f.Sync() }
+func (f *dirFile) Close() error              { return f.f.Close() }

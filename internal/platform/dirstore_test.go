@@ -1,0 +1,83 @@
+package platform
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	f, err := s.Create("seg-1")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	g, err := s.Open("seg-1")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer g.Close()
+	size, err := g.Size()
+	if err != nil || size != 7 {
+		t.Fatalf("Size: %d, %v", size, err)
+	}
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestDirStoreErrors(t *testing.T) {
+	s, _ := NewDirStore(t.TempDir())
+	if _, err := s.Open("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open missing: %v", err)
+	}
+	if err := s.Remove("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Remove missing: %v", err)
+	}
+	if _, err := s.Create("x"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := s.Create("x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create: %v", err)
+	}
+	if _, err := s.Create("bad/name"); err == nil {
+		t.Fatal("Create with path separator should fail")
+	}
+}
+
+func TestDirStoreList(t *testing.T) {
+	s, _ := NewDirStore(t.TempDir())
+	for _, n := range []string{"a", "b"} {
+		f, err := s.Create(n)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		f.Close()
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("List: got %v", names)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}

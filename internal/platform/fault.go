@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultStore wraps an UntrustedStore and injects crashes: after a configured
+// number of write operations (WriteAt, Truncate, or Sync), every subsequent
+// operation fails with ErrCrashed. Combined with MemStore.Crash it lets the
+// recovery tests stop the database at every possible write boundary and
+// verify that recovery restores exactly the last durably committed state.
+//
+// The zero budget (-1) means "never crash".
+type FaultStore struct {
+	mu sync.Mutex
+	// inner is the wrapped store.
+	inner UntrustedStore
+	// writesLeft counts down on every mutating file operation; at zero the
+	// store crashes.
+	writesLeft int64
+	crashed    bool
+	// TornTail, when true, makes the final write before the crash apply only
+	// half of its bytes, modeling a torn sector write.
+	TornTail bool
+}
+
+// NewFaultStore wraps inner with crash injection disabled.
+func NewFaultStore(inner UntrustedStore) *FaultStore {
+	return &FaultStore{inner: inner, writesLeft: -1}
+}
+
+// SetWriteBudget arms the store to crash after n more mutating operations.
+func (s *FaultStore) SetWriteBudget(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writesLeft = n
+	s.crashed = false
+}
+
+// Crashed reports whether the injected crash has fired.
+func (s *FaultStore) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// WriteOps returns how many mutating operations remain before the crash;
+// negative means unarmed.
+func (s *FaultStore) WriteOps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writesLeft
+}
+
+// beforeWrite consumes one unit of write budget. It returns (tear, err):
+// tear is true when this is the final, torn write.
+func (s *FaultStore) beforeWrite() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return false, ErrCrashed
+	}
+	if s.writesLeft < 0 {
+		return false, nil
+	}
+	if s.writesLeft == 0 {
+		s.crashed = true
+		return false, ErrCrashed
+	}
+	s.writesLeft--
+	if s.writesLeft == 0 && s.TornTail {
+		s.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *FaultStore) failIfCrashed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create implements UntrustedStore.
+func (s *FaultStore) Create(name string) (File, error) {
+	if err := s.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	f, err := s.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{store: s, inner: f}, nil
+}
+
+// Open implements UntrustedStore.
+func (s *FaultStore) Open(name string) (File, error) {
+	if err := s.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{store: s, inner: f}, nil
+}
+
+// Remove implements UntrustedStore.
+func (s *FaultStore) Remove(name string) error {
+	if _, err := s.beforeWrite(); err != nil {
+		return err
+	}
+	return s.inner.Remove(name)
+}
+
+// List implements UntrustedStore.
+func (s *FaultStore) List() ([]string, error) {
+	if err := s.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	return s.inner.List()
+}
+
+// Sync implements UntrustedStore.
+func (s *FaultStore) Sync() error {
+	if err := s.failIfCrashed(); err != nil {
+		return err
+	}
+	return s.inner.Sync()
+}
+
+type faultFile struct {
+	store *FaultStore
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.store.failIfCrashed(); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	tear, err := f.store.beforeWrite()
+	if err != nil {
+		return 0, err
+	}
+	if tear && len(p) > 1 {
+		half := len(p) / 2
+		if _, err := f.inner.WriteAt(p[:half], off); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("platform: torn write: %w", ErrCrashed)
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Size() (int64, error) {
+	if err := f.store.failIfCrashed(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if _, err := f.store.beforeWrite(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.store.beforeWrite(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,293 @@
+package platform
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MemStore is an in-memory UntrustedStore used by tests and by the
+// simulated-disk benchmarks. It distinguishes durable from volatile state so
+// that crash simulation (see FaultStore and Crash) behaves like a real
+// device: writes become durable only on Sync.
+type MemStore struct {
+	mu    sync.Mutex
+	files map[string]*memFileState
+}
+
+type memFileState struct {
+	// data is the current (volatile) content.
+	data []byte
+	// durable is the content as of the last Sync; Crash rolls back to it.
+	durable []byte
+	// dirty reports whether data diverges from durable; dirtyLo/dirtyHi
+	// bound the diverging byte range so Sync copies only what changed
+	// (large append-only files would otherwise make Sync quadratic).
+	dirty   bool
+	dirtyLo int64
+	dirtyHi int64
+}
+
+// markDirty widens the dirty range.
+func (st *memFileState) markDirty(lo, hi int64) {
+	if !st.dirty {
+		st.dirty = true
+		st.dirtyLo, st.dirtyHi = lo, hi
+		return
+	}
+	if lo < st.dirtyLo {
+		st.dirtyLo = lo
+	}
+	if hi > st.dirtyHi {
+		st.dirtyHi = hi
+	}
+}
+
+// grow extends data to size with geometric capacity growth.
+func growSlice(b []byte, size int64) []byte {
+	if size <= int64(len(b)) {
+		return b
+	}
+	if size <= int64(cap(b)) {
+		return b[:size]
+	}
+	newCap := int64(cap(b))*2 + 4096
+	if newCap < size {
+		newCap = size
+	}
+	grown := make([]byte, size, newCap)
+	copy(grown, b)
+	return grown
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{files: make(map[string]*memFileState)}
+}
+
+// Create implements UntrustedStore.
+func (s *MemStore) Create(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("platform: create %q: %w", name, ErrExists)
+	}
+	st := &memFileState{}
+	s.files[name] = st
+	return &memFile{store: s, state: st}, nil
+}
+
+// Open implements UntrustedStore.
+func (s *MemStore) Open(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: open %q: %w", name, ErrNotFound)
+	}
+	return &memFile{store: s, state: st}, nil
+}
+
+// Remove implements UntrustedStore.
+func (s *MemStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("platform: remove %q: %w", name, ErrNotFound)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// List implements UntrustedStore.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Sync implements UntrustedStore (directory metadata is always durable in
+// this implementation).
+func (s *MemStore) Sync() error { return nil }
+
+// Crash simulates a power loss: every file reverts to its last-synced
+// content. File handles remain usable, modeling a device reboot where the
+// same store is reopened.
+func (s *MemStore) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.files {
+		if st.dirty {
+			st.data = append([]byte(nil), st.durable...)
+			st.dirty = false
+		}
+	}
+}
+
+// Corrupt flips the byte at off in the named file, bypassing the File
+// interface. It models an attacker editing the untrusted store off-line.
+func (s *MemStore) Corrupt(name string, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("platform: corrupt %q: %w", name, ErrNotFound)
+	}
+	if off < 0 || off >= int64(len(st.data)) {
+		return fmt.Errorf("platform: corrupt %q: offset %d out of range [0,%d)", name, off, len(st.data))
+	}
+	st.data[off] ^= 0xff
+	st.durable = append([]byte(nil), st.data...)
+	st.dirty = false
+	return nil
+}
+
+// Snapshot returns a deep copy of the durable content of every file. It
+// models an attacker saving a copy of the database for a later replay
+// attack.
+func (s *MemStore) Snapshot() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.files))
+	for n, st := range s.files {
+		out[n] = append([]byte(nil), st.durable...)
+	}
+	return out
+}
+
+// Restore replaces the store's entire content with a snapshot previously
+// taken with Snapshot. It models the attacker replaying a stale database.
+func (s *MemStore) Restore(snap map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = make(map[string]*memFileState, len(snap))
+	for n, data := range snap {
+		s.files[n] = &memFileState{
+			data:    append([]byte(nil), data...),
+			durable: append([]byte(nil), data...),
+		}
+	}
+}
+
+// TotalSize returns the sum of all file sizes; the benchmarks use it to
+// measure on-disk database size.
+func (s *MemStore) TotalSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, st := range s.files {
+		total += int64(len(st.data))
+	}
+	return total
+}
+
+type memFile struct {
+	store *MemStore
+	state *memFileState
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("platform: negative read offset %d", off)
+	}
+	if off >= int64(len(f.state.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.state.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("platform: negative write offset %d", off)
+	}
+	end := off + int64(len(p))
+	f.state.data = growSlice(f.state.data, end)
+	copy(f.state.data[off:end], p)
+	f.state.markDirty(off, end)
+	return len(p), nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	return int64(len(f.state.data)), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("platform: negative truncate size %d", size)
+	}
+	if size <= int64(len(f.state.data)) {
+		// Zero the tail so a later re-grow reads zeros, not stale bytes.
+		tail := f.state.data[size:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		f.state.data = f.state.data[:size]
+	} else {
+		f.state.data = growSlice(f.state.data, size)
+	}
+	f.state.markDirty(0, int64(len(f.state.data)))
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.store.mu.Lock()
+	defer f.store.mu.Unlock()
+	st := f.state
+	if st.dirty {
+		if len(st.durable) > len(st.data) {
+			// Zero the abandoned tail so re-growth within capacity never
+			// resurrects stale bytes.
+			tail := st.durable[len(st.data):]
+			for i := range tail {
+				tail[i] = 0
+			}
+			st.durable = st.durable[:len(st.data)]
+		} else if len(st.durable) < len(st.data) {
+			st.durable = growSlice(st.durable, int64(len(st.data)))
+		}
+		hi := st.dirtyHi
+		if hi > int64(len(st.data)) {
+			hi = int64(len(st.data))
+		}
+		if st.dirtyLo < hi {
+			copy(st.durable[st.dirtyLo:hi], st.data[st.dirtyLo:hi])
+		}
+		st.dirty = false
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// Equal reports whether two snapshots hold identical content; a test helper.
+func SnapshotsEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for n, da := range a {
+		db, ok := b[n]
+		if !ok || !bytes.Equal(da, db) {
+			return false
+		}
+	}
+	return true
+}

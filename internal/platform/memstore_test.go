@@ -1,0 +1,219 @@
+package platform
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStoreCreateOpenRemove(t *testing.T) {
+	s := NewMemStore()
+	f, err := s.Create("a")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := s.Create("a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create: got %v, want ErrExists", err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	g, err := s.Open("a")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("ReadAt: got %q", buf)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := s.Open("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open after Remove: got %v, want ErrNotFound", err)
+	}
+	if err := s.Remove("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Remove: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStoreList(t *testing.T) {
+	s := NewMemStore()
+	for _, n := range []string{"c", "a", "b"} {
+		if _, err := s.Create(n); err != nil {
+			t.Fatalf("Create %s: %v", n, err)
+		}
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("List: got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List: got %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMemFileGrowAndTruncate(t *testing.T) {
+	s := NewMemStore()
+	f, _ := s.Create("a")
+	if _, err := f.WriteAt([]byte{1, 2, 3}, 10); err != nil {
+		t.Fatalf("WriteAt past end: %v", err)
+	}
+	size, _ := f.Size()
+	if size != 13 {
+		t.Fatalf("Size: got %d, want 13", size)
+	}
+	buf := make([]byte, 13)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if buf[9] != 0 || buf[10] != 1 || buf[12] != 3 {
+		t.Fatalf("hole not zero-filled: %v", buf)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if size, _ := f.Size(); size != 5 {
+		t.Fatalf("Size after Truncate: got %d", size)
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatalf("Truncate grow: %v", err)
+	}
+	buf = make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt after grow: %v", err)
+	}
+	for _, b := range buf[5:] {
+		if b != 0 {
+			t.Fatalf("grown region not zeroed: %v", buf)
+		}
+	}
+}
+
+func TestMemFileReadAtEOF(t *testing.T) {
+	s := NewMemStore()
+	f, _ := s.Create("a")
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 5)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short ReadAt: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("ReadAt past EOF: %v", err)
+	}
+}
+
+func TestMemStoreCrashRevertsToSynced(t *testing.T) {
+	s := NewMemStore()
+	f, _ := s.Create("a")
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.WriteAt([]byte("VOLATIL"), 0)
+	s.Crash()
+	buf := make([]byte, 7)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt after crash: %v", err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("after crash: got %q, want %q", buf, "durable")
+	}
+}
+
+func TestMemStoreSnapshotRestore(t *testing.T) {
+	s := NewMemStore()
+	f, _ := s.Create("a")
+	f.WriteAt([]byte("v1"), 0)
+	f.Sync()
+	snap := s.Snapshot()
+	f.WriteAt([]byte("v2"), 0)
+	f.Sync()
+	s.Restore(snap)
+	g, err := s.Open("a")
+	if err != nil {
+		t.Fatalf("Open after Restore: %v", err)
+	}
+	buf := make([]byte, 2)
+	g.ReadAt(buf, 0)
+	if string(buf) != "v1" {
+		t.Fatalf("Restore: got %q, want v1", buf)
+	}
+	if !SnapshotsEqual(snap, s.Snapshot()) {
+		t.Fatal("snapshots should be equal after restore")
+	}
+}
+
+func TestMemStoreCorrupt(t *testing.T) {
+	s := NewMemStore()
+	f, _ := s.Create("a")
+	f.WriteAt([]byte{0x00}, 0)
+	if err := s.Corrupt("a", 0); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	buf := make([]byte, 1)
+	f.ReadAt(buf, 0)
+	if buf[0] != 0xff {
+		t.Fatalf("Corrupt: got %x", buf[0])
+	}
+	if err := s.Corrupt("a", 99); err == nil {
+		t.Fatal("Corrupt out of range should fail")
+	}
+	if err := s.Corrupt("nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Corrupt missing file: %v", err)
+	}
+}
+
+// TestMemFileQuickWriteRead property-tests that arbitrary WriteAt/ReadAt
+// sequences behave like writes into a flat byte array.
+func TestMemFileQuickWriteRead(t *testing.T) {
+	check := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		s := NewMemStore()
+		f, _ := s.Create("f")
+		model := make([]byte, 0)
+		for _, op := range ops {
+			off := int64(op.Off)
+			if _, err := f.WriteAt(op.Data, off); err != nil {
+				return false
+			}
+			end := off + int64(len(op.Data))
+			if end > int64(len(model)) {
+				grown := make([]byte, end)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[off:end], op.Data)
+		}
+		size, _ := f.Size()
+		if size != int64(len(model)) {
+			return false
+		}
+		got := make([]byte, len(model))
+		if len(got) > 0 {
+			if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+				return false
+			}
+		}
+		return bytes.Equal(got, model)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package platform
+
+import "sync"
+
+// IOCounts is a plain copy of I/O counters at a point in time.
+type IOCounts struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64
+	WriteOps     int64
+	SyncOps      int64
+}
+
+// IOStats accumulates byte and operation counts for an UntrustedStore. The
+// benchmarks use it to reproduce the paper's write-volume observation
+// (Berkeley DB writes ~1100 bytes per TPC-B transaction, TDB ~523; §7.4).
+type IOStats struct {
+	mu sync.Mutex
+	c  IOCounts
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *IOStats) Snapshot() IOCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Reset zeroes all counters.
+func (s *IOStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c = IOCounts{}
+}
+
+func (s *IOStats) addRead(n int) {
+	s.mu.Lock()
+	s.c.BytesRead += int64(n)
+	s.c.ReadOps++
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addWrite(n int) {
+	s.mu.Lock()
+	s.c.BytesWritten += int64(n)
+	s.c.WriteOps++
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addSync() {
+	s.mu.Lock()
+	s.c.SyncOps++
+	s.mu.Unlock()
+}
+
+// MeterStore wraps an UntrustedStore and accounts all file I/O into an
+// IOStats.
+type MeterStore struct {
+	inner UntrustedStore
+	stats *IOStats
+}
+
+// NewMeterStore wraps inner; counters accumulate into the returned store's
+// Stats.
+func NewMeterStore(inner UntrustedStore) *MeterStore {
+	return &MeterStore{inner: inner, stats: &IOStats{}}
+}
+
+// Stats returns the shared counter block.
+func (s *MeterStore) Stats() *IOStats { return s.stats }
+
+// Create implements UntrustedStore.
+func (s *MeterStore) Create(name string) (File, error) {
+	f, err := s.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &meterFile{inner: f, stats: s.stats}, nil
+}
+
+// Open implements UntrustedStore.
+func (s *MeterStore) Open(name string) (File, error) {
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &meterFile{inner: f, stats: s.stats}, nil
+}
+
+// Remove implements UntrustedStore.
+func (s *MeterStore) Remove(name string) error { return s.inner.Remove(name) }
+
+// List implements UntrustedStore.
+func (s *MeterStore) List() ([]string, error) { return s.inner.List() }
+
+// Sync implements UntrustedStore.
+func (s *MeterStore) Sync() error { return s.inner.Sync() }
+
+type meterFile struct {
+	inner File
+	stats *IOStats
+}
+
+func (f *meterFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.ReadAt(p, off)
+	f.stats.addRead(n)
+	return n, err
+}
+
+func (f *meterFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.WriteAt(p, off)
+	f.stats.addWrite(n)
+	return n, err
+}
+
+func (f *meterFile) Size() (int64, error)      { return f.inner.Size() }
+func (f *meterFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+func (f *meterFile) Sync() error {
+	f.stats.addSync()
+	return f.inner.Sync()
+}
+
+func (f *meterFile) Close() error { return f.inner.Close() }

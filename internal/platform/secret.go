@@ -1,0 +1,92 @@
+package platform
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MemSecret is an in-memory SecretStore.
+type MemSecret struct {
+	secret []byte
+}
+
+// NewMemSecret wraps the given secret. The slice is copied.
+func NewMemSecret(secret []byte) *MemSecret {
+	return &MemSecret{secret: append([]byte(nil), secret...)}
+}
+
+// NewRandomSecret generates a fresh random device secret of n bytes.
+func NewRandomSecret(n int) (*MemSecret, error) {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return nil, fmt.Errorf("platform: generating device secret: %w", err)
+	}
+	return &MemSecret{secret: b}, nil
+}
+
+// Secret implements SecretStore.
+func (s *MemSecret) Secret() ([]byte, error) {
+	if len(s.secret) == 0 {
+		return nil, errors.New("platform: secret store is empty")
+	}
+	return append([]byte(nil), s.secret...), nil
+}
+
+// FileSecret reads the device secret from a file in a store. On a real
+// device the secret lives in ROM or tamper-responsive SRAM (paper §2); a
+// file stands in for it on development platforms.
+type FileSecret struct {
+	store UntrustedStore
+	name  string
+}
+
+// NewFileSecret opens the named secret file, creating it with a fresh random
+// secret of size bytes if it does not exist yet.
+func NewFileSecret(store UntrustedStore, name string, size int) (*FileSecret, error) {
+	_, err := store.Open(name)
+	if errors.Is(err, ErrNotFound) {
+		f, err := store.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, size)
+		if _, err := rand.Read(b); err != nil {
+			return nil, fmt.Errorf("platform: generating device secret: %w", err)
+		}
+		if _, err := f.WriteAt(b, 0); err != nil {
+			return nil, fmt.Errorf("platform: writing device secret: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("platform: syncing device secret: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	return &FileSecret{store: store, name: name}, nil
+}
+
+// Secret implements SecretStore.
+func (s *FileSecret) Secret() ([]byte, error) {
+	f, err := s.store.Open(s.name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, errors.New("platform: secret store is empty")
+	}
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("platform: reading device secret: %w", err)
+	}
+	return b, nil
+}

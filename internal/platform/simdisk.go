@@ -1,0 +1,319 @@
+package platform
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DiskParams describes the mechanical characteristics of the simulated
+// disk. Defaults (DefaultDiskParams) follow the paper's evaluation platform:
+// an EIDE disk with 8.9 ms read and 10.9 ms write seek time, 7200 rpm
+// (4.2 ms average rotational latency) and a year-2000 transfer rate (§7.2).
+type DiskParams struct {
+	// ReadSeek and WriteSeek are the average seek times; the model scales
+	// them by a concave function of seek distance.
+	ReadSeek  time.Duration
+	WriteSeek time.Duration
+	// Rotation is the average rotational latency paid by charged reads
+	// (waiting for the platter on a cache miss).
+	Rotation time.Duration
+	// SyncOverhead is the fixed cost of one synchronous flush: controller
+	// command overhead plus the (write-cache-assisted) media commit. The
+	// paper's drive has a 2 MB controller cache (§7.2), which is why
+	// synchronous log appends complete in well under a full rotation.
+	SyncOverhead time.Duration
+	// TransferRate is the media transfer rate in bytes per second.
+	TransferRate int64
+	// Span is the modeled capacity used to normalize seek distances.
+	Span int64
+	// ChargeReads, when true, also charges read operations. The default is
+	// false: the paper's platform has 256 MB RAM against a ≤ 350 MB
+	// database, so steady-state reads are file-system cache hits.
+	ChargeReads bool
+}
+
+// DefaultDiskParams returns the paper's disk model.
+func DefaultDiskParams() DiskParams {
+	return DiskParams{
+		ReadSeek:     8900 * time.Microsecond,
+		WriteSeek:    10900 * time.Microsecond,
+		Rotation:     4200 * time.Microsecond,
+		SyncOverhead: 1200 * time.Microsecond,
+		TransferRate: 20 << 20, // 20 MB/s
+		Span:         8 << 30,  // 8 GB
+	}
+}
+
+// SimDisk wraps an UntrustedStore with a virtual-clock latency model of a
+// single disk device. Store files are laid out as extents on the virtual
+// disk; writes accumulate as dirty ranges and their cost is charged when the
+// file is synced, modeling a write-back file cache flushed by fsync (log
+// files opened with WRITE_THROUGH sync after every append, so they are
+// charged per append, just like the paper's configuration).
+//
+// The model captures exactly the mechanisms the paper's results rest on:
+// sequential log appends pay one rotation plus transfer; in-place page
+// writes pay seeks between scattered ranges; bigger write volume costs
+// transfer time. The clock is virtual — no sleeping — so the benchmarks run
+// in seconds while reporting latencies on the paper's scale.
+type SimDisk struct {
+	inner  UntrustedStore
+	params DiskParams
+
+	mu       sync.Mutex
+	clock    time.Duration
+	head     int64
+	nextFree int64
+	files    map[string]*simFileState
+}
+
+type simFileState struct {
+	extents []extent
+	// dirty holds not-yet-charged written ranges as (diskOffset, length)
+	// pairs.
+	dirty []extent
+}
+
+type extent struct {
+	fileOff int64 // starting offset within the file
+	diskOff int64 // starting offset on the virtual disk
+	length  int64
+}
+
+const simExtentSize = 256 << 10 // granularity of disk space allocation
+
+// NewSimDisk wraps inner with the given disk model.
+func NewSimDisk(inner UntrustedStore, params DiskParams) *SimDisk {
+	if params.TransferRate <= 0 {
+		params.TransferRate = DefaultDiskParams().TransferRate
+	}
+	if params.Span <= 0 {
+		params.Span = DefaultDiskParams().Span
+	}
+	return &SimDisk{
+		inner:  inner,
+		params: params,
+		files:  make(map[string]*simFileState),
+	}
+}
+
+// Elapsed returns the virtual time consumed by disk activity so far.
+func (d *SimDisk) Elapsed() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// seekTime scales the average seek by a concave function of distance, with a
+// small floor for short seeks (track-to-track plus settle time).
+func (d *SimDisk) seekTime(avg time.Duration, dist int64) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(dist) / float64(d.params.Span))
+	if frac > 1 {
+		frac = 1
+	}
+	return time.Duration(float64(avg) * (0.02 + 0.98*frac))
+}
+
+func (d *SimDisk) transferTime(bytes int64) time.Duration {
+	return time.Duration(bytes * int64(time.Second) / d.params.TransferRate)
+}
+
+// state returns (creating if needed) the layout state for a file.
+func (d *SimDisk) state(name string) *simFileState {
+	st, ok := d.files[name]
+	if !ok {
+		st = &simFileState{}
+		d.files[name] = st
+	}
+	return st
+}
+
+// diskOffset maps a file offset to a disk offset, allocating extents as the
+// file grows. Must be called with d.mu held.
+func (d *SimDisk) diskOffset(st *simFileState, fileOff int64) int64 {
+	for {
+		for _, e := range st.extents {
+			if fileOff >= e.fileOff && fileOff < e.fileOff+e.length {
+				return e.diskOff + (fileOff - e.fileOff)
+			}
+		}
+		// Allocate the next extent contiguously in file space, at the next
+		// free disk position (files interleave on disk like a real FS).
+		var end int64
+		for _, e := range st.extents {
+			if e.fileOff+e.length > end {
+				end = e.fileOff + e.length
+			}
+		}
+		need := fileOff - end + 1
+		size := int64(simExtentSize)
+		for size < need {
+			size += simExtentSize
+		}
+		st.extents = append(st.extents, extent{fileOff: end, diskOff: d.nextFree, length: size})
+		d.nextFree += size
+	}
+}
+
+// recordWrite notes a dirty range for later charging. Must hold d.mu.
+func (d *SimDisk) recordWrite(st *simFileState, fileOff, length int64) {
+	for length > 0 {
+		diskOff := d.diskOffset(st, fileOff)
+		// Clip to the extent holding fileOff so ranges stay physically
+		// contiguous.
+		var ext extent
+		for _, e := range st.extents {
+			if fileOff >= e.fileOff && fileOff < e.fileOff+e.length {
+				ext = e
+				break
+			}
+		}
+		run := ext.fileOff + ext.length - fileOff
+		if run > length {
+			run = length
+		}
+		st.dirty = append(st.dirty, extent{fileOff: fileOff, diskOff: diskOff, length: run})
+		fileOff += run
+		length -= run
+	}
+}
+
+// chargeSync charges the cost of flushing all dirty ranges of one file:
+// ranges are sorted by disk position and coalesced; each physically
+// discontiguous run costs a seek, and the whole flush pays one rotational
+// latency plus transfer time.
+func (d *SimDisk) chargeSync(st *simFileState) {
+	if len(st.dirty) == 0 {
+		return
+	}
+	runs := append([]extent(nil), st.dirty...)
+	st.dirty = st.dirty[:0]
+	sort.Slice(runs, func(i, j int) bool { return runs[i].diskOff < runs[j].diskOff })
+	// Coalesce adjacent/overlapping runs.
+	merged := runs[:1]
+	for _, r := range runs[1:] {
+		last := &merged[len(merged)-1]
+		if r.diskOff <= last.diskOff+last.length {
+			if end := r.diskOff + r.length; end > last.diskOff+last.length {
+				last.length = end - last.diskOff
+			}
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	cost := d.params.SyncOverhead
+	for _, r := range merged {
+		dist := r.diskOff - d.head
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist > 0 {
+			// A discontiguous run pays the seek plus rotational positioning
+			// (on average half a rotation to reach the target sector).
+			cost += d.seekTime(d.params.WriteSeek, dist) + d.params.Rotation/2
+		}
+		cost += d.transferTime(r.length)
+		d.head = r.diskOff + r.length
+	}
+	d.clock += cost
+}
+
+// chargeRead charges a read of length bytes at fileOff, if reads are
+// charged.
+func (d *SimDisk) chargeRead(st *simFileState, fileOff, length int64) {
+	if !d.params.ChargeReads || length <= 0 {
+		return
+	}
+	diskOff := d.diskOffset(st, fileOff)
+	dist := diskOff - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	d.clock += d.seekTime(d.params.ReadSeek, dist) + d.params.Rotation + d.transferTime(length)
+	d.head = diskOff + length
+}
+
+// Create implements UntrustedStore.
+func (d *SimDisk) Create(name string) (File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	st := d.state(name)
+	d.mu.Unlock()
+	return &simFile{disk: d, inner: f, state: st}, nil
+}
+
+// Open implements UntrustedStore.
+func (d *SimDisk) Open(name string) (File, error) {
+	f, err := d.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	st := d.state(name)
+	d.mu.Unlock()
+	return &simFile{disk: d, inner: f, state: st}, nil
+}
+
+// Remove implements UntrustedStore.
+func (d *SimDisk) Remove(name string) error {
+	if err := d.inner.Remove(name); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.files, name)
+	d.mu.Unlock()
+	return nil
+}
+
+// List implements UntrustedStore.
+func (d *SimDisk) List() ([]string, error) { return d.inner.List() }
+
+// Sync implements UntrustedStore.
+func (d *SimDisk) Sync() error { return d.inner.Sync() }
+
+type simFile struct {
+	disk  *SimDisk
+	inner File
+	state *simFileState
+}
+
+func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.ReadAt(p, off)
+	f.disk.mu.Lock()
+	f.disk.chargeRead(f.state, off, int64(n))
+	f.disk.mu.Unlock()
+	return n, err
+}
+
+func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.WriteAt(p, off)
+	if n > 0 {
+		f.disk.mu.Lock()
+		f.disk.recordWrite(f.state, off, int64(n))
+		f.disk.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *simFile) Size() (int64, error)      { return f.inner.Size() }
+func (f *simFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+func (f *simFile) Sync() error {
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.disk.mu.Lock()
+	f.disk.chargeSync(f.state)
+	f.disk.mu.Unlock()
+	return nil
+}
+
+func (f *simFile) Close() error { return f.inner.Close() }

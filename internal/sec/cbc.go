@@ -1,0 +1,151 @@
+package sec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/des"
+	"crypto/hmac"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// cbcSuite implements Suite with a CBC-mode block cipher, a one-way hash,
+// and HMAC. It underlies both the 3DES/SHA-1 suite the paper evaluates and
+// the faster AES/SHA-256 alternative.
+type cbcSuite struct {
+	name     string
+	block    cipher.Block
+	hashNew  hashFactory
+	hashSize int
+	macKey   []byte
+	ivKey    []byte
+	hashPool sync.Pool
+	macPool  sync.Pool
+}
+
+func newCBCSuite(name string, block cipher.Block, hf hashFactory, secret []byte) (*cbcSuite, error) {
+	macKey, err := deriveKey(secret, "mac", 32)
+	if err != nil {
+		return nil, err
+	}
+	ivKey, err := deriveKey(secret, "iv", 32)
+	if err != nil {
+		return nil, err
+	}
+	s := &cbcSuite{
+		name:     name,
+		block:    block,
+		hashNew:  hf,
+		hashSize: hf().Size(),
+		macKey:   macKey,
+		ivKey:    ivKey,
+	}
+	s.hashPool.New = func() any { return hf() }
+	s.macPool.New = func() any { return hmac.New(hf, s.macKey) }
+	return s, nil
+}
+
+// NewDES3SHA1 returns the paper's TDB-S suite: 3DES-CBC encryption with
+// SHA-1 hashing (§7.3).
+func NewDES3SHA1(secret []byte) (Suite, error) {
+	key, err := deriveKey(secret, "enc", 24)
+	if err != nil {
+		return nil, err
+	}
+	fixDESParity(key)
+	block, err := des.NewTripleDESCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sec: creating 3DES cipher: %w", err)
+	}
+	return newCBCSuite("3des-sha1", block, sha1.New, secret)
+}
+
+// NewAESSHA256 returns the modern suite: AES-128-CBC with SHA-256. The paper
+// anticipates such faster alternatives to 3DES (§7.3).
+func NewAESSHA256(secret []byte) (Suite, error) {
+	key, err := deriveKey(secret, "enc", 16)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sec: creating AES cipher: %w", err)
+	}
+	return newCBCSuite("aes-sha256", block, sha256.New, secret)
+}
+
+func (s *cbcSuite) Name() string { return s.name }
+
+// deriveIV computes a deterministic, unique IV for the given seed by
+// encrypting the seed counter with a dedicated key (an instance of the
+// standard "encrypted counter" IV construction).
+func (s *cbcSuite) deriveIV(seed uint64) []byte {
+	bs := s.block.BlockSize()
+	m := hmac.New(sha256.New, s.ivKey)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seed)
+	m.Write(b[:])
+	return m.Sum(nil)[:bs]
+}
+
+// Encrypt implements Suite. Ciphertext layout: IV || CBC(pad(plaintext)).
+func (s *cbcSuite) Encrypt(plaintext []byte, iv uint64) ([]byte, error) {
+	bs := s.block.BlockSize()
+	ivb := s.deriveIV(iv)
+	padded := padPKCS7(plaintext, bs)
+	out := make([]byte, bs+len(padded))
+	copy(out, ivb)
+	enc := cipher.NewCBCEncrypter(s.block, ivb)
+	enc.CryptBlocks(out[bs:], padded)
+	return out, nil
+}
+
+// Decrypt implements Suite.
+func (s *cbcSuite) Decrypt(ciphertext []byte) ([]byte, error) {
+	bs := s.block.BlockSize()
+	if len(ciphertext) < 2*bs || (len(ciphertext)-bs)%bs != 0 {
+		return nil, fmt.Errorf("%w: length %d", ErrBadCiphertext, len(ciphertext))
+	}
+	ivb := ciphertext[:bs]
+	body := ciphertext[bs:]
+	out := make([]byte, len(body))
+	dec := cipher.NewCBCDecrypter(s.block, ivb)
+	dec.CryptBlocks(out, body)
+	return unpadPKCS7(out, bs)
+}
+
+// Hash implements Suite.
+func (s *cbcSuite) Hash(data []byte) []byte {
+	h := s.hashPool.Get().(hash.Hash)
+	h.Reset()
+	h.Write(data)
+	sum := h.Sum(nil)
+	s.hashPool.Put(h)
+	return sum
+}
+
+// HashSize implements Suite.
+func (s *cbcSuite) HashSize() int { return s.hashSize }
+
+// MAC implements Suite.
+func (s *cbcSuite) MAC(data []byte) []byte {
+	m := s.macPool.Get().(hash.Hash)
+	m.Reset()
+	m.Write(data)
+	sum := m.Sum(nil)
+	s.macPool.Put(m)
+	return sum
+}
+
+// MACSize implements Suite.
+func (s *cbcSuite) MACSize() int { return s.hashSize }
+
+// Overhead implements Suite: IV plus worst-case padding.
+func (s *cbcSuite) Overhead(n int) int {
+	bs := s.block.BlockSize()
+	return bs + (bs - n%bs)
+}

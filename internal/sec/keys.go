@@ -1,0 +1,46 @@
+package sec
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+)
+
+// deriveKey derives an independent subkey of length n from the device master
+// secret for the given purpose label, using HMAC-SHA256 as a KDF in counter
+// mode. Distinct labels ("enc", "mac", "iv") yield computationally
+// independent keys, so a compromise of one use does not leak the others.
+func deriveKey(secret []byte, label string, n int) ([]byte, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("sec: empty device secret")
+	}
+	out := make([]byte, 0, n)
+	var counter byte
+	for len(out) < n {
+		m := hmac.New(sha256.New, secret)
+		m.Write([]byte(label))
+		m.Write([]byte{counter})
+		out = append(out, m.Sum(nil)...)
+		counter++
+	}
+	return out[:n], nil
+}
+
+// fixDESParity sets the least-significant (parity) bit of every key byte so
+// that derived keys are valid DES keys. DES ignores parity for security; the
+// Go implementation does not check it, but canonical keys make test vectors
+// stable.
+func fixDESParity(key []byte) {
+	for i, b := range key {
+		b &= 0xfe
+		// Odd parity over the 7 key bits.
+		p := b
+		p ^= p >> 4
+		p ^= p >> 2
+		p ^= p >> 1
+		if p&1 == 0 {
+			b |= 1
+		}
+		key[i] = b
+	}
+}

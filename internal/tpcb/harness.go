@@ -1,0 +1,157 @@
+package tpcb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tdb/internal/platform"
+)
+
+// BenchConfig describes one benchmark run.
+type BenchConfig struct {
+	// Scale sizes the database.
+	Scale Scale
+	// Txns is the total number of transactions; following §7.3, the
+	// reported response times cover only the later half, "when the systems
+	// had reached steady-state".
+	Txns int
+	// Seed makes the request stream reproducible.
+	Seed int64
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	System string
+	Txns   int
+	// Measured is the number of steady-state transactions the averages
+	// cover.
+	Measured int
+	// AvgResponse is the modeled average response time: CPU wall time plus
+	// simulated disk time per transaction.
+	AvgResponse time.Duration
+	// AvgDisk and AvgCPU split the response time into the simulated-disk
+	// and host-CPU components.
+	AvgDisk time.Duration
+	AvgCPU  time.Duration
+	// P95Response is the 95th-percentile response time.
+	P95Response time.Duration
+	// BytesPerTxn is the average bytes written to the untrusted store per
+	// steady-state transaction (the paper's 1100 vs 523 comparison, §7.4).
+	BytesPerTxn float64
+	// SyncsPerTxn is the average number of file syncs per transaction.
+	SyncsPerTxn float64
+	// FinalDBBytes is the total on-disk size after the run (Figure 11,
+	// right).
+	FinalDBBytes int64
+	// Checkpoints, Cleanings, CleanedBytes report TDB maintenance activity
+	// during the measured half (zero for the baseline).
+	Checkpoints  int64
+	Cleanings    int64
+	CleanedBytes int64
+}
+
+// BenchEnv bundles the instrumented storage stack for one run: the engine
+// writes through a byte meter into a simulated disk over an in-memory
+// store.
+type BenchEnv struct {
+	Mem   *platform.MemStore
+	Disk  *platform.SimDisk
+	Meter *platform.MeterStore
+}
+
+// NewBenchEnv builds the instrumented stack with the paper's disk model.
+func NewBenchEnv() *BenchEnv {
+	mem := platform.NewMemStore()
+	disk := platform.NewSimDisk(mem, platform.DefaultDiskParams())
+	meter := platform.NewMeterStore(disk)
+	return &BenchEnv{Mem: mem, Disk: disk, Meter: meter}
+}
+
+// Store returns the store the system under test should mount.
+func (e *BenchEnv) Store() platform.UntrustedStore { return e.Meter }
+
+// Run drives cfg.Txns transactions through the driver, measuring the later
+// half.
+func Run(env *BenchEnv, d Driver, cfg BenchConfig) (Result, error) {
+	if cfg.Txns <= 1 {
+		return Result{}, fmt.Errorf("tpcb: need at least 2 transactions")
+	}
+	if err := d.Load(cfg.Scale); err != nil {
+		return Result{}, fmt.Errorf("tpcb: loading %s: %w", d.Name(), err)
+	}
+	gen := NewGenerator(cfg.Seed, cfg.Scale)
+	warm := cfg.Txns / 2
+	statsOf := func() (ck, cl, cb int64) {
+		if td, ok := d.(*TDBDriver); ok {
+			st := td.DB().Stats()
+			return st.Checkpoints, st.Cleanings, st.CleanedBytes
+		}
+		return 0, 0, 0
+	}
+
+	// Warm-up half.
+	for i := 0; i < warm; i++ {
+		if err := d.Run(gen.Next()); err != nil {
+			return Result{}, fmt.Errorf("tpcb: %s warm-up txn %d: %w", d.Name(), i, err)
+		}
+	}
+
+	// Measured half.
+	ck0, cl0, cb0 := statsOf()
+	env.Meter.Stats().Reset()
+	measured := cfg.Txns - warm
+	cpu := make([]time.Duration, 0, measured)
+	dsk := make([]time.Duration, 0, measured)
+	for i := 0; i < measured; i++ {
+		op := gen.Next()
+		d0 := env.Disk.Elapsed()
+		t0 := time.Now()
+		if err := d.Run(op); err != nil {
+			return Result{}, fmt.Errorf("tpcb: %s txn %d: %w", d.Name(), i, err)
+		}
+		cpu = append(cpu, time.Since(t0))
+		dsk = append(dsk, env.Disk.Elapsed()-d0)
+	}
+	io := env.Meter.Stats().Snapshot()
+	ck1, cl1, cb1 := statsOf()
+
+	res := Result{
+		Checkpoints:  ck1 - ck0,
+		Cleanings:    cl1 - cl0,
+		CleanedBytes: cb1 - cb0,
+		System:       d.Name(),
+		Txns:         cfg.Txns,
+		Measured:     measured,
+		BytesPerTxn:  float64(io.BytesWritten) / float64(measured),
+		SyncsPerTxn:  float64(io.SyncOps) / float64(measured),
+		FinalDBBytes: env.Mem.TotalSize(),
+	}
+	var cpuSum, dskSum time.Duration
+	resp := make([]time.Duration, measured)
+	for i := range cpu {
+		cpuSum += cpu[i]
+		dskSum += dsk[i]
+		resp[i] = cpu[i] + dsk[i]
+	}
+	res.AvgCPU = cpuSum / time.Duration(measured)
+	res.AvgDisk = dskSum / time.Duration(measured)
+	res.AvgResponse = res.AvgCPU + res.AvgDisk
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	res.P95Response = resp[measured*95/100]
+	return res, nil
+}
+
+// Row formats a result as a fixed-width report line.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-11s %9.2f ms  (disk %7.2f ms + cpu %6.2f ms)  p95 %8.2f ms  %7.0f B/txn  %5.2f syncs/txn  db %6.1f MB  ckpt %d clean %d (%d KB)",
+		r.System,
+		float64(r.AvgResponse)/float64(time.Millisecond),
+		float64(r.AvgDisk)/float64(time.Millisecond),
+		float64(r.AvgCPU)/float64(time.Millisecond),
+		float64(r.P95Response)/float64(time.Millisecond),
+		r.BytesPerTxn,
+		r.SyncsPerTxn,
+		float64(r.FinalDBBytes)/(1<<20),
+		r.Checkpoints, r.Cleanings, r.CleanedBytes/1024)
+}

@@ -1,0 +1,225 @@
+// Package tpcb implements the TPC-B benchmark the paper uses to compare
+// TDB against Berkeley DB (§7). The schema follows Figure 9 and the
+// Berkeley DB driver the paper bases its implementation on: four
+// collections — Account, Teller, Branch, History — of 100-byte records with
+// 4-byte unique ids; a transaction reads and updates a random row of each
+// of the first three and appends a History row.
+package tpcb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdb/internal/objectstore"
+)
+
+// Scale sizes the collections. The paper scales TPC-B down "to better
+// model the size of an embedded database" (Figure 9).
+type Scale struct {
+	Accounts int
+	Tellers  int
+	Branches int
+}
+
+// PaperScale is Figure 9's configuration.
+var PaperScale = Scale{Accounts: 100000, Tellers: 1000, Branches: 100}
+
+// SmallScale keeps unit tests and in-repo benchmarks quick while preserving
+// the collection ratios.
+var SmallScale = Scale{Accounts: 10000, Tellers: 100, Branches: 10}
+
+// recordSize is the TPC-B row size (Figure 9: "objects in all four
+// collections are 100 bytes long").
+const recordSize = 100
+
+// Op is one generated transaction's parameters.
+type Op struct {
+	Account int32
+	Teller  int32
+	Branch  int32
+	Delta   int64
+}
+
+// Generator produces a deterministic TPC-B request stream.
+type Generator struct {
+	rng   *rand.Rand
+	scale Scale
+}
+
+// NewGenerator seeds a request stream.
+func NewGenerator(seed int64, scale Scale) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), scale: scale}
+}
+
+// Next returns the next transaction's parameters.
+func (g *Generator) Next() Op {
+	return Op{
+		Account: int32(g.rng.Intn(g.scale.Accounts)),
+		Teller:  int32(g.rng.Intn(g.scale.Tellers)),
+		Branch:  int32(g.rng.Intn(g.scale.Branches)),
+		Delta:   int64(g.rng.Intn(1999999) - 999999), // TPC-B: [-999999, +999999]
+	}
+}
+
+// Driver abstracts the two systems under test.
+type Driver interface {
+	// Name identifies the system ("TDB", "TDB-S", "BerkeleyDB").
+	Name() string
+	// Load populates the database at the given scale.
+	Load(scale Scale) error
+	// Run executes one TPC-B transaction (durably committed).
+	Run(op Op) error
+	// Close shuts the system down without a final compaction, so database
+	// size measurements reflect the benchmark steady state.
+	Close() error
+}
+
+// Balance rows: fixed 100-byte records.
+
+// Account is a TPC-B account row.
+type Account struct {
+	ID       int32
+	BranchID int32
+	Balance  int64
+}
+
+// Teller is a TPC-B teller row.
+type Teller struct {
+	ID       int32
+	BranchID int32
+	Balance  int64
+}
+
+// Branch is a TPC-B branch row.
+type Branch struct {
+	ID      int32
+	Balance int64
+}
+
+// History is a TPC-B history row.
+type History struct {
+	Seq     int64
+	Account int32
+	Teller  int32
+	Branch  int32
+	Delta   int64
+}
+
+// Persistent class ids for the TDB driver.
+const (
+	ClassAccount objectstore.ClassID = 4001
+	ClassTeller  objectstore.ClassID = 4002
+	ClassBranch  objectstore.ClassID = 4003
+	ClassHistory objectstore.ClassID = 4004
+)
+
+// padTo pads a pickled record to the fixed 100-byte row size.
+func padTo(p *objectstore.Pickler, used int) {
+	for i := used; i < recordSize; i++ {
+		p.Byte(0)
+	}
+}
+
+// ClassID implements objectstore.Object.
+func (a *Account) ClassID() objectstore.ClassID { return ClassAccount }
+
+// Pickle implements objectstore.Object with a fixed 100-byte layout.
+func (a *Account) Pickle(p *objectstore.Pickler) {
+	p.Int32(a.ID)
+	p.Int32(a.BranchID)
+	p.Int64(a.Balance)
+	padTo(p, 16)
+}
+
+// Unpickle implements objectstore.Object.
+func (a *Account) Unpickle(u *objectstore.Unpickler) error {
+	a.ID = u.Int32()
+	a.BranchID = u.Int32()
+	a.Balance = u.Int64()
+	u.RawBytes(recordSize - 16)
+	return u.Err()
+}
+
+// ClassID implements objectstore.Object.
+func (t *Teller) ClassID() objectstore.ClassID { return ClassTeller }
+
+// Pickle implements objectstore.Object.
+func (t *Teller) Pickle(p *objectstore.Pickler) {
+	p.Int32(t.ID)
+	p.Int32(t.BranchID)
+	p.Int64(t.Balance)
+	padTo(p, 16)
+}
+
+// Unpickle implements objectstore.Object.
+func (t *Teller) Unpickle(u *objectstore.Unpickler) error {
+	t.ID = u.Int32()
+	t.BranchID = u.Int32()
+	t.Balance = u.Int64()
+	u.RawBytes(recordSize - 16)
+	return u.Err()
+}
+
+// ClassID implements objectstore.Object.
+func (b *Branch) ClassID() objectstore.ClassID { return ClassBranch }
+
+// Pickle implements objectstore.Object.
+func (b *Branch) Pickle(p *objectstore.Pickler) {
+	p.Int32(b.ID)
+	p.Int64(b.Balance)
+	padTo(p, 12)
+}
+
+// Unpickle implements objectstore.Object.
+func (b *Branch) Unpickle(u *objectstore.Unpickler) error {
+	b.ID = u.Int32()
+	b.Balance = u.Int64()
+	u.RawBytes(recordSize - 12)
+	return u.Err()
+}
+
+// ClassID implements objectstore.Object.
+func (h *History) ClassID() objectstore.ClassID { return ClassHistory }
+
+// Pickle implements objectstore.Object.
+func (h *History) Pickle(p *objectstore.Pickler) {
+	p.Int64(h.Seq)
+	p.Int32(h.Account)
+	p.Int32(h.Teller)
+	p.Int32(h.Branch)
+	p.Int64(h.Delta)
+	padTo(p, 28)
+}
+
+// Unpickle implements objectstore.Object.
+func (h *History) Unpickle(u *objectstore.Unpickler) error {
+	h.Seq = u.Int64()
+	h.Account = u.Int32()
+	h.Teller = u.Int32()
+	h.Branch = u.Int32()
+	h.Delta = u.Int64()
+	u.RawBytes(recordSize - 28)
+	return u.Err()
+}
+
+// RegisterClasses adds the TPC-B classes to a registry.
+func RegisterClasses(reg *objectstore.Registry) {
+	reg.Register(ClassAccount, func() objectstore.Object { return &Account{} })
+	reg.Register(ClassTeller, func() objectstore.Object { return &Teller{} })
+	reg.Register(ClassBranch, func() objectstore.Object { return &Branch{} })
+	reg.Register(ClassHistory, func() objectstore.Object { return &History{} })
+}
+
+// Verify checks record sizes match the specification at init time.
+func Verify() error {
+	for _, obj := range []objectstore.Object{
+		&Account{}, &Teller{}, &Branch{}, &History{},
+	} {
+		p := &objectstore.Pickler{}
+		obj.Pickle(p)
+		if p.Len() != recordSize {
+			return fmt.Errorf("tpcb: %T pickles to %d bytes, want %d", obj, p.Len(), recordSize)
+		}
+	}
+	return nil
+}
