@@ -257,7 +257,10 @@ func decodeCkptPayload(data []byte) (ckptPayload, error) {
 // (paper §3.2.1).
 func (s *Store) checkpointLocked() error {
 	dirty := s.lm.dirtyNodes() // post-order: children before parents
-	ivSeq := (s.commitSeq + 1) << 20
+	// Reserve a fresh IV generation for the node writes; checkpoints share
+	// the ivGen namespace with commit preparations and cleaner relocations,
+	// so seeds never collide (see commit_pipeline.go).
+	ivSeq := s.ivGen.Add(1) << ivGenBits
 	for i, n := range dirty {
 		// Refresh inner entries so the serialization carries children's
 		// latest stored locations and content hashes.
@@ -269,7 +272,13 @@ func (s *Store) checkpointLocked() error {
 			}
 		}
 		plain := n.serialize()
-		ciphertext, err := s.suite.Encrypt(plain, ivSeq|uint64(i&0xfffff))
+		slot := uint64(i) & (1<<ivGenBits - 1)
+		if i > 0 && slot == 0 {
+			// Slot space exhausted; reserve another generation rather than
+			// wrapping around into already-used seeds.
+			ivSeq = s.ivGen.Add(1) << ivGenBits
+		}
+		ciphertext, err := s.suite.Encrypt(plain, ivSeq|slot)
 		if err != nil {
 			return fmt.Errorf("chunkstore: encrypting map node: %w", err)
 		}
@@ -303,7 +312,9 @@ func (s *Store) checkpointLocked() error {
 		alloc:    s.alloc,
 		segLive:  segLive,
 	})
-	ciphertext, err := s.suite.Encrypt(payload, ivSeq|0xffffe)
+	// The checkpoint payload gets its own generation so it can never collide
+	// with a node slot.
+	ciphertext, err := s.suite.Encrypt(payload, s.ivGen.Add(1)<<ivGenBits)
 	if err != nil {
 		return fmt.Errorf("chunkstore: encrypting checkpoint: %w", err)
 	}

@@ -60,7 +60,25 @@ var (
 	ErrClosed = errors.New("chunkstore: store is closed")
 	// ErrSnapshotClosed is returned for operations on a closed snapshot.
 	ErrSnapshotClosed = errors.New("chunkstore: snapshot is closed")
+	// ErrBatchTooLarge is returned by Commit for batches with more than
+	// MaxBatchOps operations. The limit exists because the per-operation IV
+	// sequence space within one commit is 20 bits wide; accepting a larger
+	// batch would silently reuse IVs across different plaintexts.
+	ErrBatchTooLarge = errors.New("chunkstore: batch exceeds maximum operation count")
+	// ErrMaintenance wraps failures of post-commit maintenance (automatic
+	// checkpointing or cleaning). When Commit returns an error matching
+	// ErrMaintenance the commit itself HAS been applied — durably, for a
+	// durable commit — and only the background maintenance work failed;
+	// callers must not treat the batch as lost. Any other Commit error means
+	// the batch left no trace in the store.
+	ErrMaintenance = errors.New("chunkstore: post-commit maintenance failed")
 )
+
+// MaxBatchOps is the maximum number of operations in one Batch. Each
+// operation is assigned a 20-bit slot in the commit's IV sequence space
+// (see Commit); batches beyond this bound are rejected with
+// ErrBatchTooLarge rather than wrapping around and reusing IVs.
+const MaxBatchOps = 1 << 20
 
 // Stats reports operational counters and sizes of a store.
 type Stats struct {
@@ -85,4 +103,9 @@ type Stats struct {
 	Checkpoints int64
 	// CacheBytes is the memory accounted to cached map nodes.
 	CacheBytes int64
+	// ReadCacheBytes is the memory resident in the validated-plaintext read
+	// cache; ReadCacheHits and ReadCacheMisses count its lookups.
+	ReadCacheBytes  int64
+	ReadCacheHits   int64
+	ReadCacheMisses int64
 }

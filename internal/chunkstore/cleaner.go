@@ -230,7 +230,10 @@ func (s *Store) evacuate(seg *segment) error {
 				return false, err
 			}
 			cur := node.serialize()
-			curCipher, err := s.suite.Encrypt(cur, uint64(loc.Seg)<<32|uint64(loc.Off))
+			// Reserve a fresh IV generation for the re-encryption; the old
+			// location-derived seed could collide with another encryption's
+			// seed in the shared IV namespace.
+			curCipher, err := s.suite.Encrypt(cur, s.ivGen.Add(1)<<ivGenBits)
 			if err != nil {
 				return false, fmt.Errorf("chunkstore: re-encrypting map node during cleaning: %w", err)
 			}

@@ -44,6 +44,14 @@ type Config struct {
 	// shared with the object store's object cache (paper §4.2.2). If nil a
 	// private 4 MiB pool is created.
 	CachePool *lru.Pool
+	// ReadCacheBytes bounds the validated-plaintext read cache, which serves
+	// repeat reads without taking the store mutex. 0 selects the default
+	// (4 MiB); a negative value disables the cache entirely.
+	ReadCacheBytes int64
+	// CommitWorkers is the number of goroutines used to encrypt and hash a
+	// batch's payloads during commit preparation. 0 selects one worker per
+	// CPU; 1 prepares inline on the committing goroutine.
+	CommitWorkers int
 	// DisableAutoClean turns off post-commit cleaning (the benchmarks'
 	// idle-cleaning experiments drive the cleaner explicitly).
 	DisableAutoClean bool
@@ -88,6 +96,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CachePool == nil {
 		c.CachePool = lru.NewPool(4 << 20)
+	}
+	if c.ReadCacheBytes == 0 {
+		c.ReadCacheBytes = 4 << 20
+	}
+	if c.CommitWorkers < 0 {
+		return fmt.Errorf("chunkstore: commit workers %d negative", c.CommitWorkers)
 	}
 	return nil
 }

@@ -62,7 +62,9 @@ func (m *locMap) unregisterNode(n *mapNode) {
 }
 
 // evict is the LRU callback: drop a clean, childless, non-root node from
-// the current tree. Returns false to veto.
+// the current tree. Returns false to veto. The dirty-node veto is
+// load-bearing for commit atomicity: rollback (restoreEntry) relies on the
+// whole just-mutated path staying cached until the commit settles.
 func (m *locMap) evict(n *mapNode) bool {
 	if n.dirty || n.kidCount > 0 || n == m.root {
 		return false
@@ -275,6 +277,18 @@ func (m *locMap) set(cid ChunkID, e entry) (entry, error) {
 // clear removes the leaf entry for cid, returning the previous entry.
 func (m *locMap) clear(cid ChunkID) (entry, error) {
 	return m.set(cid, entry{})
+}
+
+// restoreEntry puts back a previous leaf entry during commit rollback. It is
+// infallible by invariant: rollback only targets cids that a forward set (or
+// clear) just mutated, which left every node on the path cached and dirty,
+// and evict never drops dirty nodes — so this descent performs no I/O and
+// cannot fail. An error here would mean the invariant is broken, which is a
+// bug, not a runtime condition.
+func (m *locMap) restoreEntry(cid ChunkID, e entry) {
+	if _, err := m.set(cid, e); err != nil {
+		panic(fmt.Sprintf("chunkstore: rollback descent for chunk %d hit I/O: %v", cid, err))
+	}
 }
 
 // markShared freezes all cached nodes for a snapshot: subsequent mutations

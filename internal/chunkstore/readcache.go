@@ -1,0 +1,175 @@
+package chunkstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tdb/internal/lru"
+)
+
+// readCache caches validated plaintext chunk contents so repeated reads of
+// hot chunks skip the store mutex, the log I/O, the hash validation, and
+// the decryption entirely. Entries are keyed by the chunk's validated
+// ciphertext hash (the same hash the Merkle tree authenticates), with a
+// chunk-id index on top; ids whose current records share a hash share one
+// entry.
+//
+// Concurrency model: the cache has its own RWMutex, independent of
+// Store.mu, so cache hits proceed concurrently with an in-flight commit.
+// Coherence is maintained by the commit path, which — while still holding
+// Store.mu, before Commit returns — updates the mapping for every chunk the
+// batch wrote and drops the mapping for every chunk it deallocated. A
+// reader that hits the cache while a commit is in flight observes the
+// pre-commit value, which is correct: that read linearizes before the
+// commit's completion. The lock order is always Store.mu → readCache.mu;
+// the cache never calls back into the store.
+//
+// The cache uses a dedicated lru.Pool rather than the store's shared map
+// node pool: lru.Pool is not safe for concurrent use and the map node pool
+// is serialized by Store.mu, which cache hits deliberately do not take.
+type readCache struct {
+	mu     sync.RWMutex
+	pool   *lru.Pool
+	byHash map[string]*rcEntry
+	byCID  map[ChunkID]*rcEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// rcEntry is one cached plaintext, shared by every chunk id whose current
+// content hash matches. The data slice is immutable after construction;
+// lookups copy out under the read lock.
+type rcEntry struct {
+	hash string
+	data []byte
+	cids map[ChunkID]struct{}
+	ent  *lru.Entry
+}
+
+// rcEntryOverhead approximates the per-entry bookkeeping cost charged to
+// the pool on top of the plaintext bytes.
+const rcEntryOverhead = 128
+
+// newReadCache returns a cache bounded by budget bytes, or nil (all methods
+// are nil-safe no-ops) when budget is negative.
+func newReadCache(budget int64) *readCache {
+	if budget < 0 {
+		return nil
+	}
+	return &readCache{
+		pool:   lru.NewPool(budget),
+		byHash: make(map[string]*rcEntry),
+		byCID:  make(map[ChunkID]*rcEntry),
+	}
+}
+
+// get returns a copy of the cached plaintext for cid. Hits touch the LRU
+// entry only when the write lock is immediately available, trading strict
+// recency order for reader concurrency.
+func (rc *readCache) get(cid ChunkID) ([]byte, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	rc.mu.RLock()
+	e, ok := rc.byCID[cid]
+	var out []byte
+	if ok {
+		out = append([]byte(nil), e.data...)
+	}
+	rc.mu.RUnlock()
+	if !ok {
+		rc.misses.Add(1)
+		return nil, false
+	}
+	rc.hits.Add(1)
+	if rc.mu.TryLock() {
+		if e.ent != nil {
+			e.ent.Touch() // no-op if the entry was evicted meanwhile
+		}
+		rc.mu.Unlock()
+	}
+	return out, true
+}
+
+// put records plain as the current validated content of cid. The slice is
+// copied; callers keep ownership of their buffer.
+func (rc *readCache) put(cid ChunkID, hash []byte, plain []byte) {
+	if rc == nil {
+		return
+	}
+	h := string(hash)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if old := rc.byCID[cid]; old != nil {
+		if old.hash == h {
+			old.ent.Touch()
+			return
+		}
+		rc.detachLocked(cid, old)
+	}
+	e := rc.byHash[h]
+	if e == nil {
+		e = &rcEntry{hash: h, data: append([]byte(nil), plain...), cids: make(map[ChunkID]struct{}, 1)}
+		rc.byHash[h] = e
+		e.ent = rc.pool.Add(int64(len(e.data))+rcEntryOverhead, func() bool {
+			delete(rc.byHash, e.hash)
+			for c := range e.cids {
+				delete(rc.byCID, c)
+			}
+			return true
+		})
+	} else {
+		e.ent.Touch()
+	}
+	e.cids[cid] = struct{}{}
+	rc.byCID[cid] = e
+}
+
+// invalidate drops the mapping for cid (deallocated or rewritten).
+func (rc *readCache) invalidate(cid ChunkID) {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if e := rc.byCID[cid]; e != nil {
+		rc.detachLocked(cid, e)
+	}
+}
+
+// detachLocked unlinks cid from its entry, freeing the entry once no id
+// references it. Caller holds rc.mu.
+func (rc *readCache) detachLocked(cid ChunkID, e *rcEntry) {
+	delete(e.cids, cid)
+	delete(rc.byCID, cid)
+	if len(e.cids) == 0 {
+		e.ent.Remove()
+		delete(rc.byHash, e.hash)
+	}
+}
+
+// purge empties the cache (store close).
+func (rc *readCache) purge() {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for h, e := range rc.byHash {
+		e.ent.Remove()
+		delete(rc.byHash, h)
+	}
+	rc.byCID = make(map[ChunkID]*rcEntry)
+}
+
+// stats reports resident bytes and hit/miss counters.
+func (rc *readCache) stats() (bytes, hits, misses int64) {
+	if rc == nil {
+		return 0, 0, 0
+	}
+	rc.mu.RLock()
+	bytes = rc.pool.Used()
+	rc.mu.RUnlock()
+	return bytes, rc.hits.Load(), rc.misses.Load()
+}

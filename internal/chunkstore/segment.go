@@ -173,6 +173,57 @@ func (ss *segmentSet) totalLive() int64 {
 	return t
 }
 
+// tailMark remembers the log's append position so a failed multi-record
+// append (an aborted commit) can be physically discarded later. The bytes
+// between a mark and the current tail are, by construction, referenced by
+// nothing: the staged commit path only publishes locations into the
+// location map after every append of the batch has succeeded.
+type tailMark struct {
+	// seg and size identify the tail segment and its length at mark time.
+	seg  uint64
+	size int64
+	// next preserves the segment-number counter so rewinding reuses the
+	// numbers of discarded segments (recovery expects dense numbering).
+	next uint64
+}
+
+// mark captures the current append position.
+func (ss *segmentSet) mark() tailMark {
+	if ss.tail == nil {
+		return tailMark{}
+	}
+	return tailMark{seg: ss.tail.num, size: ss.tail.size, next: ss.next}
+}
+
+// rewind discards everything appended after the mark: segments created
+// since are freed and the then-tail is truncated back to its marked length,
+// becoming the tail again. Rewinding is idempotent — on failure the caller
+// may retry with the same mark once the underlying store recovers.
+func (ss *segmentSet) rewind(m tailMark) error {
+	target, ok := ss.segs[m.seg]
+	if !ok {
+		return fmt.Errorf("chunkstore: rewind target segment %d missing", m.seg)
+	}
+	ss.tail = target
+	for _, num := range ss.numbers() {
+		if num > m.seg {
+			if err := ss.free(num); err != nil {
+				return err
+			}
+		}
+	}
+	if target.size > m.size {
+		if err := target.file.Truncate(m.size); err != nil {
+			return fmt.Errorf("chunkstore: truncating aborted commit tail: %w", err)
+		}
+		target.size = m.size
+		target.synced = false
+	}
+	target.sealed = false
+	ss.next = m.next
+	return nil
+}
+
 // append writes a raw encoded record to the tail (sealing and creating
 // segments as needed when the tail is full) and returns its location.
 func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {

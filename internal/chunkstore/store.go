@@ -4,14 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tdb/internal/sec"
 )
 
 // Store is a log-structured, encrypted, tamper-evident chunk store. All
-// methods are safe for concurrent use; internally the store serializes
-// operations with a single state mutex, matching TDB's low-concurrency
-// design point (paper §4.2.3).
+// methods are safe for concurrent use. Commits run a two-stage pipeline:
+// payload encryption and hashing execute outside the state mutex, fanned
+// out across CPUs, and only log appends plus the staged in-memory merge
+// serialize under the mutex (see commit_pipeline.go). Reads of cached,
+// already-validated chunks bypass the state mutex entirely through the
+// read cache (see readcache.go).
 type Store struct {
 	mu  sync.Mutex
 	cfg Config
@@ -20,6 +24,22 @@ type Store struct {
 	segs  *segmentSet
 	lm    *locMap
 	alloc *allocator
+
+	// rcache serves validated plaintext reads without the state mutex. It
+	// is created at Open and never reassigned, so it may be dereferenced
+	// without holding mu. Nil when disabled.
+	rcache *readCache
+	// ivGen hands out IV-sequence generations (one per commit preparation,
+	// checkpoint, or cleaner relocation). It never repeats within a store
+	// lifetime and is ratcheted to at least commitSeq at open, so every
+	// encryption in this process gets a fresh IV seed even while several
+	// commits prepare concurrently.
+	ivGen atomic.Uint64
+	// pendingRewind, when non-nil, marks orphaned log records appended by a
+	// failed commit. The next append-capable operation must truncate them
+	// away before writing (completePendingRewind); otherwise a later
+	// successful commit would let crash recovery replay the orphans.
+	pendingRewind *tailMark
 
 	// commitSeq is the sequence number of the last commit record appended.
 	commitSeq uint64
@@ -68,6 +88,7 @@ func Open(cfg Config) (*Store, error) {
 		}
 		s.counterVal = v
 	}
+	s.rcache = newReadCache(cfg.ReadCacheBytes)
 	sb, err := s.readSuperblock()
 	if errors.Is(err, errNoSuperblock) {
 		if err := s.format(); err != nil {
@@ -81,7 +102,20 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.recover(sb); err != nil {
 		return nil, err
 	}
+	// IV generations must stay ahead of commit sequence numbers so seeds
+	// used after recovery never collide with those of recovered commits.
+	s.ratchetIVGen(s.commitSeq)
 	return s, nil
+}
+
+// ratchetIVGen raises ivGen to at least v (never lowers it).
+func (s *Store) ratchetIVGen(v uint64) {
+	for {
+		cur := s.ivGen.Load()
+		if cur >= v || s.ivGen.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // format initializes an empty database.
@@ -113,6 +147,9 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	s.closed = true
+	// Purge last: once the cache is empty, every Read falls through to the
+	// mutex path and observes the closed flag.
+	s.rcache.purge()
 	return err
 }
 
@@ -165,8 +202,14 @@ func (s *Store) Release(cid ChunkID) error {
 
 // Read returns the last committed state of cid (paper Figure 2). It signals
 // ErrNotWritten for ids without committed state and ErrTampered if the
-// stored chunk fails validation against the Merkle tree.
+// stored chunk fails validation against the Merkle tree. Reads of chunks
+// whose validated plaintext is resident in the read cache complete without
+// taking the state mutex, so they proceed concurrently with an in-flight
+// commit.
 func (s *Store) Read(cid ChunkID) ([]byte, error) {
+	if data, ok := s.rcache.get(cid); ok {
+		return data, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.readLocked(cid)
@@ -186,7 +229,12 @@ func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: %d", ErrNotAllocated, cid)
 	}
-	return s.readChunkAt(cid, e)
+	plain, err := s.readChunkAt(cid, e)
+	if err != nil {
+		return nil, err
+	}
+	s.rcache.put(cid, e.hash, plain)
+	return plain, nil
 }
 
 // readChunkAt fetches, validates, and decrypts the chunk version at e.
@@ -264,91 +312,38 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Commit applies the batch atomically. A durable commit survives crashes; a
 // nondurable commit is guaranteed *not* to survive a crash unless a
 // subsequent durable commit completes (paper §3.2.2).
+//
+// Atomicity holds in memory as well as on disk: if Commit returns an error
+// that does not match ErrMaintenance, the batch left no trace — location
+// map, allocator, accounting, and the readable state of every chunk are
+// exactly as before the call, and the batch's operations remain staged so
+// the caller may retry the same Batch. An ErrMaintenance error means the
+// commit itself fully applied (durably, if requested) and only post-commit
+// maintenance failed.
+//
+// Batches larger than MaxBatchOps are rejected with ErrBatchTooLarge.
 func (s *Store) Commit(b *Batch, durable bool) error {
+	if len(b.ops) > MaxBatchOps {
+		return fmt.Errorf("%w: %d operations (max %d)", ErrBatchTooLarge, len(b.ops), MaxBatchOps)
+	}
+	// Stage 1: encrypt and hash outside the mutex (see commit_pipeline.go).
+	gen := s.ivGen.Add(1)
+	prep, err := prepareBatch(s.suite, b.ops, gen, s.cfg.CommitWorkers)
+	if err != nil {
+		return err
+	}
+	// Stage 2: validate, append, and merge under the mutex.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.commitLocked(b, durable); err != nil {
+	if err := s.commitPrepared(b, prep, durable); err != nil {
 		return err
 	}
-	return s.maybeMaintain()
-}
-
-// commitLocked validates and applies a batch. On validation error nothing
-// is changed; I/O errors mid-commit leave the log with an uncommitted tail
-// that recovery discards.
-func (s *Store) commitLocked(b *Batch, durable bool) error {
-	// Validate before touching the log.
-	for _, op := range b.ops {
-		switch op.kind {
-		case opWrite, opDealloc:
-			if !s.alloc.isAllocated(op.cid) {
-				return fmt.Errorf("%w: %d", ErrNotAllocated, op.cid)
-			}
-		case opRestore:
-			if op.cid == 0 {
-				return fmt.Errorf("chunkstore: restore of chunk id 0")
-			}
-		}
+	if err := s.maybeMaintain(); err != nil {
+		return fmt.Errorf("%w: %w", ErrMaintenance, err)
 	}
-	if len(b.ops) == 0 && !durable {
-		return nil
-	}
-	appended := int64(0)
-	ivSeq := (s.commitSeq + 1) << 20
-	for i, op := range b.ops {
-		switch op.kind {
-		case opWrite, opRestore:
-			if op.kind == opRestore {
-				s.alloc.noteWritten(op.cid)
-			}
-			ciphertext, err := s.suite.Encrypt(op.data, ivSeq|uint64(i&0xfffff))
-			if err != nil {
-				return fmt.Errorf("chunkstore: encrypting chunk %d: %w", op.cid, err)
-			}
-			rec := encodeRecord(recWrite, writeRecordBody(op.cid, ciphertext))
-			loc, err := s.segs.append(rec, s.cfg.SegmentSize)
-			if err != nil {
-				return err
-			}
-			appended += int64(len(rec))
-			old, err := s.lm.set(op.cid, entry{loc: loc, hash: s.suite.Hash(ciphertext)})
-			if err != nil {
-				return err
-			}
-			s.adjustLive(loc, int64(loc.Len))
-			if !old.isEmpty() {
-				s.adjustLive(old.loc, -int64(old.loc.Len))
-			} else {
-				s.chunkCount++
-			}
-		case opDealloc:
-			old, err := s.lm.get(op.cid)
-			if err != nil {
-				return err
-			}
-			if !old.isEmpty() {
-				rec := encodeRecord(recDealloc, deallocRecordBody(op.cid))
-				if _, err := s.segs.append(rec, s.cfg.SegmentSize); err != nil {
-					return err
-				}
-				appended += int64(len(rec))
-				if _, err := s.lm.clear(op.cid); err != nil {
-					return err
-				}
-				s.adjustLive(old.loc, -int64(old.loc.Len))
-				s.chunkCount--
-			}
-			s.alloc.release(op.cid)
-		}
-	}
-	if err := s.appendCommitRecord(durable, &appended); err != nil {
-		return err
-	}
-	s.residualBytes += appended
-	b.ops = nil
 	return nil
 }
 
@@ -457,6 +452,7 @@ func (s *Store) Stats() Stats {
 		Checkpoints:  s.statCheckpoints,
 		CacheBytes:   s.cfg.CachePool.Used(),
 	}
+	st.ReadCacheBytes, st.ReadCacheHits, st.ReadCacheMisses = s.rcache.stats()
 	if disk > 0 {
 		st.Utilization = float64(live) / float64(disk)
 	}

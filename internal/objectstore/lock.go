@@ -99,12 +99,17 @@ func (lt *lockTable) acquire(mu *sync.Mutex, t *Txn, oid ObjectID, mode lockMode
 			t.noteLock(oid, mode)
 			return nil
 		}
-		w := make(chan struct{})
-		l.waiters = append(l.waiters, w)
+		// Check the deadline before registering as a waiter: registering
+		// first would leak the waiter on the timeout return, and a leaked
+		// waiter keeps the lock entry alive in the table forever (release
+		// only reclaims entries with no holders and no waiters).
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			lt.reclaim(oid, l)
 			return ErrLockTimeout
 		}
+		w := make(chan struct{})
+		l.waiters = append(l.waiters, w)
 		timer := time.NewTimer(remaining)
 		mu.Unlock()
 		select {
@@ -112,9 +117,31 @@ func (lt *lockTable) acquire(mu *sync.Mutex, t *Txn, oid ObjectID, mode lockMode
 			timer.Stop()
 		case <-timer.C:
 			mu.Lock()
+			// Deregister so the abandoned waiter does not pin the lock
+			// entry. The entry (or even a successor under the same id) may
+			// have changed while the mutex was released, so match by
+			// identity before touching it.
+			if cur, ok := lt.locks[oid]; ok && cur == l {
+				for i, c := range l.waiters {
+					if c == w {
+						l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+						break
+					}
+				}
+				lt.reclaim(oid, l)
+			}
 			return ErrLockTimeout
 		}
 		mu.Lock()
+	}
+}
+
+// reclaim drops the table entry for oid if l is still it and nothing holds
+// or waits on it.
+func (lt *lockTable) reclaim(oid ObjectID, l *objLock) {
+	if cur, ok := lt.locks[oid]; ok && cur == l &&
+		l.exclusive == nil && len(l.sharers) == 0 && len(l.waiters) == 0 {
+		delete(lt.locks, oid)
 	}
 }
 

@@ -1,0 +1,97 @@
+package objectstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestTxn() *Txn {
+	return &Txn{active: true, locks: make(map[ObjectID]lockMode)}
+}
+
+// TestExpiredAcquireRegistersNoWaiter covers the waiter-leak fix: an acquire
+// whose deadline has already passed must return ErrLockTimeout without
+// leaving a waiter behind. A leaked waiter would pin the lock entry in the
+// table forever, since release only reclaims entries with no holders and no
+// waiters.
+func TestExpiredAcquireRegistersNoWaiter(t *testing.T) {
+	var mu sync.Mutex
+	lt := newLockTable()
+	holder, blocked := newTestTxn(), newTestTxn()
+	oid := ObjectID(7)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if err := lt.acquire(&mu, holder, oid, lockExclusive, time.Second); err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	if err := lt.acquire(&mu, blocked, oid, lockShared, 0); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("expired acquire: %v, want ErrLockTimeout", err)
+	}
+	if n := len(lt.locks[oid].waiters); n != 0 {
+		t.Fatalf("expired acquire left %d waiter(s) registered", n)
+	}
+	lt.release(holder)
+	if len(lt.locks) != 0 {
+		t.Fatalf("lock entry not reclaimed after release: %d entries remain", len(lt.locks))
+	}
+}
+
+// TestTimedOutWaiterReclaimed exercises the blocking path: a waiter that
+// times out while parked must deregister itself, and the entry must be
+// reclaimed once the holder releases.
+func TestTimedOutWaiterReclaimed(t *testing.T) {
+	var mu sync.Mutex
+	lt := newLockTable()
+	holder, blocked := newTestTxn(), newTestTxn()
+	oid := ObjectID(9)
+
+	mu.Lock()
+	if err := lt.acquire(&mu, holder, oid, lockExclusive, time.Second); err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	if err := lt.acquire(&mu, blocked, oid, lockExclusive, 10*time.Millisecond); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("blocked acquire: %v, want ErrLockTimeout", err)
+	}
+	if n := len(lt.locks[oid].waiters); n != 0 {
+		t.Fatalf("timed-out acquire left %d waiter(s) registered", n)
+	}
+	lt.release(holder)
+	if len(lt.locks) != 0 {
+		t.Fatalf("lock entry not reclaimed after release: %d entries remain", len(lt.locks))
+	}
+	mu.Unlock()
+}
+
+// TestWaiterWokenStillAcquires guards against over-eager deregistration: a
+// waiter signalled before its deadline must still get the lock.
+func TestWaiterWokenStillAcquires(t *testing.T) {
+	var mu sync.Mutex
+	lt := newLockTable()
+	holder, blocked := newTestTxn(), newTestTxn()
+	oid := ObjectID(11)
+
+	mu.Lock()
+	if err := lt.acquire(&mu, holder, oid, lockExclusive, time.Second); err != nil {
+		t.Fatalf("holder acquire: %v", err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		lt.release(holder)
+		mu.Unlock()
+	}()
+	if err := lt.acquire(&mu, blocked, oid, lockExclusive, 5*time.Second); err != nil {
+		t.Fatalf("woken acquire: %v", err)
+	}
+	if mode, ok := lt.holds(blocked, oid); !ok || mode != lockExclusive {
+		t.Fatalf("woken waiter does not hold the lock: mode=%v ok=%v", mode, ok)
+	}
+	lt.release(blocked)
+	if len(lt.locks) != 0 {
+		t.Fatalf("lock entry not reclaimed: %d entries remain", len(lt.locks))
+	}
+	mu.Unlock()
+}

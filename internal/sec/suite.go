@@ -39,9 +39,13 @@ type Suite interface {
 	Name() string
 
 	// Encrypt encrypts plaintext. The ciphertext embeds any IV needed for
-	// decryption. The iv parameter seeds deterministic IV derivation; the
-	// chunk store passes a value unique per (chunk, write) so equal
-	// plaintexts never produce equal ciphertexts.
+	// decryption. The iv parameter seeds deterministic IV derivation and
+	// must be unique per encryption under one key; the chunk store
+	// partitions the seed space as generation<<20 | slot, where generations
+	// are drawn from a process-wide counter (one per commit preparation,
+	// checkpoint, or cleaner relocation) and the 20-bit slot numbers the
+	// operations within it, so equal plaintexts never produce equal
+	// ciphertexts even across concurrent commit preparations.
 	Encrypt(plaintext []byte, iv uint64) ([]byte, error)
 
 	// Decrypt reverses Encrypt.
