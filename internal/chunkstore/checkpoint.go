@@ -30,6 +30,11 @@ type superblock struct {
 	fanout      int
 	segmentSize int
 	ckptLoc     Location
+	// ivGenReserved is the IV-generation reservation high-water mark: every
+	// generation any process lifetime may have used for an encryption is at
+	// or below it, so Open ratchets the in-memory counter past it (zero in
+	// superblocks written before the field existed).
+	ivGenReserved uint64
 }
 
 // encodeSuperPayload serializes the MAC-covered portion of a slot.
@@ -45,6 +50,7 @@ func encodeSuperPayload(sb superblock) []byte {
 	out = binary.BigEndian.AppendUint64(out, sb.ckptLoc.Seg)
 	out = binary.BigEndian.AppendUint32(out, sb.ckptLoc.Off)
 	out = binary.BigEndian.AppendUint32(out, sb.ckptLoc.Len)
+	out = binary.BigEndian.AppendUint64(out, sb.ivGenReserved)
 	return out
 }
 
@@ -86,6 +92,12 @@ func decodeSuperSlot(slot []byte, suite sec.Suite) (superblock, bool) {
 	sb.ckptLoc.Seg = binary.BigEndian.Uint64(payload[p+8 : p+16])
 	sb.ckptLoc.Off = binary.BigEndian.Uint32(payload[p+16 : p+20])
 	sb.ckptLoc.Len = binary.BigEndian.Uint32(payload[p+20 : p+24])
+	// The IV reservation mark is absent from superblocks written before the
+	// field existed; treat those as zero (Open then falls back to the
+	// commit-sequence ratchet).
+	if len(payload) >= p+32 {
+		sb.ivGenReserved = binary.BigEndian.Uint64(payload[p+24 : p+32])
+	}
 	return sb, true
 }
 
@@ -125,16 +137,19 @@ func (s *Store) readSuperblock() (superblock, error) {
 	}
 }
 
-// writeSuperblock publishes a new checkpoint pointer into the alternate
-// slot and syncs.
-func (s *Store) writeSuperblock(ckptLoc Location) error {
+// writeSuperblock publishes a checkpoint pointer and IV-generation
+// reservation into the alternate slot and syncs. It is called with the new
+// checkpoint location at checkpoints, and with the unchanged s.lastCkpt when
+// only the IV reservation needs extending.
+func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64) error {
 	s.superSeq++
 	sb := superblock{
-		seq:         s.superSeq,
-		suiteName:   s.suite.Name(),
-		fanout:      s.cfg.Fanout,
-		segmentSize: s.cfg.SegmentSize,
-		ckptLoc:     ckptLoc,
+		seq:           s.superSeq,
+		suiteName:     s.suite.Name(),
+		fanout:        s.cfg.Fanout,
+		segmentSize:   s.cfg.SegmentSize,
+		ckptLoc:       ckptLoc,
+		ivGenReserved: ivGenReserved,
 	}
 	payload := encodeSuperPayload(sb)
 	mac := s.suite.MAC(payload)
@@ -256,11 +271,24 @@ func decodeCkptPayload(data []byte) (ckptPayload, error) {
 // the superblock. This bounds the residual log that recovery must replay
 // (paper §3.2.1).
 func (s *Store) checkpointLocked() error {
+	// A failed commit may have left orphaned records at the tail; they must
+	// be physically discarded before this checkpoint appends anything, or the
+	// checkpoint's own durable records would land beyond the rewind mark —
+	// poised to be truncated away by the next commit's rewind, and leaving
+	// the orphans ahead of a durable commit record where crash recovery would
+	// replay them.
+	if err := s.completePendingRewind(); err != nil {
+		return err
+	}
 	dirty := s.lm.dirtyNodes() // post-order: children before parents
 	// Reserve a fresh IV generation for the node writes; checkpoints share
 	// the ivGen namespace with commit preparations and cleaner relocations,
 	// so seeds never collide (see commit_pipeline.go).
-	ivSeq := s.ivGen.Add(1) << ivGenBits
+	gen, err := s.nextIVGenLocked()
+	if err != nil {
+		return err
+	}
+	ivSeq := gen << ivGenBits
 	for i, n := range dirty {
 		// Refresh inner entries so the serialization carries children's
 		// latest stored locations and content hashes.
@@ -276,7 +304,11 @@ func (s *Store) checkpointLocked() error {
 		if i > 0 && slot == 0 {
 			// Slot space exhausted; reserve another generation rather than
 			// wrapping around into already-used seeds.
-			ivSeq = s.ivGen.Add(1) << ivGenBits
+			gen, err := s.nextIVGenLocked()
+			if err != nil {
+				return err
+			}
+			ivSeq = gen << ivGenBits
 		}
 		ciphertext, err := s.suite.Encrypt(plain, ivSeq|slot)
 		if err != nil {
@@ -314,7 +346,11 @@ func (s *Store) checkpointLocked() error {
 	})
 	// The checkpoint payload gets its own generation so it can never collide
 	// with a node slot.
-	ciphertext, err := s.suite.Encrypt(payload, s.ivGen.Add(1)<<ivGenBits)
+	payloadGen, err := s.nextIVGenLocked()
+	if err != nil {
+		return err
+	}
+	ciphertext, err := s.suite.Encrypt(payload, payloadGen<<ivGenBits)
 	if err != nil {
 		return fmt.Errorf("chunkstore: encrypting checkpoint: %w", err)
 	}
@@ -326,9 +362,15 @@ func (s *Store) checkpointLocked() error {
 	if err := s.appendCommitRecord(true, nil); err != nil {
 		return err
 	}
-	if err := s.writeSuperblock(ckptLoc); err != nil {
+	// Fold a fresh IV reservation into the checkpoint's superblock write, so
+	// steady-state stores never need a reservation-only superblock write
+	// between checkpoints. ivGen never exceeds the previous extension point,
+	// so this reservation is monotone.
+	reserve := s.ivGen.Load() + ivGenReserveBlock
+	if err := s.writeSuperblock(ckptLoc, reserve); err != nil {
 		return err
 	}
+	s.ivGenLimit.Store(reserve)
 	s.lastCkpt = ckptLoc
 	s.residualBytes = 0
 	s.statCheckpoints++

@@ -57,6 +57,12 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 	if !aggressive && s.segs.totalSize() <= s.cleanTriggerBytes() {
 		return nil
 	}
+	// Like every append-capable operation, cleaning must first discard the
+	// orphaned tail of a failed commit; relocated records appended after it
+	// would be truncated away by the next commit's rewind.
+	if err := s.completePendingRewind(); err != nil {
+		return err
+	}
 	var victims []uint64
 	chosen := map[uint64]bool{}
 	var freedPlanned int64
@@ -233,7 +239,11 @@ func (s *Store) evacuate(seg *segment) error {
 			// Reserve a fresh IV generation for the re-encryption; the old
 			// location-derived seed could collide with another encryption's
 			// seed in the shared IV namespace.
-			curCipher, err := s.suite.Encrypt(cur, s.ivGen.Add(1)<<ivGenBits)
+			gen, err := s.nextIVGenLocked()
+			if err != nil {
+				return false, err
+			}
+			curCipher, err := s.suite.Encrypt(cur, gen<<ivGenBits)
 			if err != nil {
 				return false, fmt.Errorf("chunkstore: re-encrypting map node during cleaning: %w", err)
 			}

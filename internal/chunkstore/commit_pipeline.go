@@ -44,9 +44,11 @@ import (
 
 // ivGenBits is the width of the per-operation slot within one commit's IV
 // sequence space: IV seed = generation<<ivGenBits | op index. Generations
-// are reserved from Store.ivGen, a counter that never repeats within one
-// store lifetime, so no two encryptions — concurrent commit preparations,
-// checkpoints, cleaner relocations — share a seed.
+// are reserved from Store.ivGen, a counter that never repeats across the
+// life of the database — the superblock persists a reservation high-water
+// mark that Open ratchets past (see Store.nextIVGen) — so no two
+// encryptions under the same key, in this process or any earlier one, share
+// a seed.
 const ivGenBits = 20
 
 // preparedOp carries the stage-1 output for one write/restore operation:

@@ -30,7 +30,7 @@ type Snapshot struct {
 func (s *Store) TakeSnapshot() (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	root := s.lm.markShared()

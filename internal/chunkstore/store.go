@@ -30,11 +30,16 @@ type Store struct {
 	// without holding mu. Nil when disabled.
 	rcache *readCache
 	// ivGen hands out IV-sequence generations (one per commit preparation,
-	// checkpoint, or cleaner relocation). It never repeats within a store
-	// lifetime and is ratcheted to at least commitSeq at open, so every
-	// encryption in this process gets a fresh IV seed even while several
-	// commits prepare concurrently.
+	// checkpoint, or cleaner relocation). It never repeats across the life
+	// of the database: the superblock persists a reservation high-water mark
+	// (ivGenLimit) and Open ratchets ivGen past it, so a seed used before a
+	// crash or restart can never be handed out again under the same key.
 	ivGen atomic.Uint64
+	// ivGenLimit is the highest IV generation durably reserved in the
+	// superblock. Generations at or below it may be consumed freely; going
+	// past it first extends the reservation with a superblock write (see
+	// nextIVGen). Mutated only under mu; read lock-free on the fast path.
+	ivGenLimit atomic.Uint64
 	// pendingRewind, when non-nil, marks orphaned log records appended by a
 	// failed commit. The next append-capable operation must truncate them
 	// away before writing (completePendingRewind); otherwise a later
@@ -59,7 +64,10 @@ type Store struct {
 	snapshots map[*Snapshot]struct{}
 	// maintenance guards against recursive post-commit maintenance.
 	maintenance bool
-	closed      bool
+	// closed is atomic so Commit can reject work before running the (costly)
+	// stage-1 crypto pipeline, without taking the state mutex. It is written
+	// only under mu.
+	closed atomic.Bool
 
 	statCleanings    int64
 	statCleanedBytes int64
@@ -102,9 +110,16 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.recover(sb); err != nil {
 		return nil, err
 	}
-	// IV generations must stay ahead of commit sequence numbers so seeds
-	// used after recovery never collide with those of recovered commits.
+	// Every generation the previous process lifetime could have consumed lies
+	// at or below the superblock's reservation mark, so ratcheting past it
+	// guarantees no IV seed is ever reused across restarts. The commitSeq
+	// ratchet is kept as a second floor for pre-reservation superblocks
+	// (ivGenReserved == 0), restoring at least the old behavior for them.
+	s.ratchetIVGen(sb.ivGenReserved)
 	s.ratchetIVGen(s.commitSeq)
+	// Nothing above the burned range is reserved yet; the first encryption
+	// after open extends the reservation before using its generation.
+	s.ivGenLimit.Store(s.ivGen.Load())
 	return s, nil
 }
 
@@ -118,10 +133,70 @@ func (s *Store) ratchetIVGen(v uint64) {
 	}
 }
 
+// ivGenReserveBlock is how many IV generations one superblock write reserves
+// beyond the generation that triggered the extension. Each block admits a
+// million generations before the next extension write, while the 44-bit
+// generation space (64-bit seed minus ivGenBits of slot) leaves room for
+// millions of reopens each burning the tail of an unused block.
+const ivGenReserveBlock = 1 << 20
+
+// nextIVGenLocked returns a fresh IV generation, durably extending the
+// superblock reservation first when the generation lies beyond it. Caller
+// holds s.mu.
+func (s *Store) nextIVGenLocked() (uint64, error) {
+	gen := s.ivGen.Add(1)
+	if err := s.extendIVReservationLocked(gen); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// nextIVGen is nextIVGenLocked for callers not holding s.mu (commit stage 1).
+// The fast path is a single atomic add plus load; the mutex is taken only
+// when the reservation block is exhausted (once per ivGenReserveBlock
+// generations).
+func (s *Store) nextIVGen() (uint64, error) {
+	gen := s.ivGen.Add(1)
+	if gen <= s.ivGenLimit.Load() {
+		return gen, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.extendIVReservationLocked(gen); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// extendIVReservationLocked makes generations up to gen+ivGenReserveBlock
+// durable in the superblock. The write must complete before any generation
+// beyond the previous limit is used for an encryption: a crash would
+// otherwise let the next open hand the same generations out again. A failed
+// extension burns gen in memory without it ever seeding an encryption, which
+// is safe.
+func (s *Store) extendIVReservationLocked(gen uint64) error {
+	if gen <= s.ivGenLimit.Load() {
+		return nil
+	}
+	newLimit := gen + ivGenReserveBlock
+	if err := s.writeSuperblock(s.lastCkpt, newLimit); err != nil {
+		return fmt.Errorf("chunkstore: extending IV generation reservation: %w", err)
+	}
+	s.ivGenLimit.Store(newLimit)
+	return nil
+}
+
 // format initializes an empty database.
 func (s *Store) format() error {
 	s.alloc = newAllocator()
 	s.lm = newLocMap(s, s.cfg.Fanout)
+	// Pre-seed the IV reservation in memory so the format-time checkpoint
+	// does not trigger an extension superblock write pointing at a not yet
+	// existing checkpoint. The checkpoint's own superblock write persists the
+	// limit; a crash before it leaves no superblock, so the store formats
+	// afresh (truncating the segment) and no encryption under the burned
+	// generations survives.
+	s.ivGenLimit.Store(ivGenReserveBlock)
 	if _, err := s.segs.create(); err != nil {
 		return err
 	}
@@ -136,17 +211,22 @@ func (s *Store) format() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	var err error
+	// Discard any orphaned tail from a failed commit so it cannot be
+	// mistaken for log content by offline tools; recovery would discard it
+	// anyway (it follows the last durable commit record).
+	err := s.completePendingRewind()
 	if s.residualBytes > 0 {
-		err = s.checkpointLocked()
+		if cerr := s.checkpointLocked(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if cerr := s.segs.closeAll(); cerr != nil && err == nil {
 		err = cerr
 	}
-	s.closed = true
+	s.closed.Store(true)
 	// Purge last: once the cache is empty, every Read falls through to the
 	// mutex path and observes the closed flag.
 	s.rcache.purge()
@@ -160,7 +240,7 @@ func (s *Store) Close() error {
 func (s *Store) AllocateChunkID() (ChunkID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
 	cid := s.alloc.allocate()
@@ -183,7 +263,7 @@ func (s *Store) AllocateChunkID() (ChunkID, error) {
 func (s *Store) Release(cid ChunkID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if !s.alloc.isAllocated(cid) {
@@ -216,7 +296,7 @@ func (s *Store) Read(cid ChunkID) ([]byte, error) {
 }
 
 func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	e, err := s.lm.get(cid)
@@ -326,8 +406,17 @@ func (s *Store) Commit(b *Batch, durable bool) error {
 	if len(b.ops) > MaxBatchOps {
 		return fmt.Errorf("%w: %d operations (max %d)", ErrBatchTooLarge, len(b.ops), MaxBatchOps)
 	}
+	// Cheap closed check before stage 1, so commits against a closed store
+	// fail fast instead of encrypting and hashing a whole batch first. The
+	// authoritative check still happens under the mutex below.
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	// Stage 1: encrypt and hash outside the mutex (see commit_pipeline.go).
-	gen := s.ivGen.Add(1)
+	gen, err := s.nextIVGen()
+	if err != nil {
+		return err
+	}
 	prep, err := prepareBatch(s.suite, b.ops, gen, s.cfg.CommitWorkers)
 	if err != nil {
 		return err
@@ -335,7 +424,7 @@ func (s *Store) Commit(b *Batch, durable bool) error {
 	// Stage 2: validate, append, and merge under the mutex.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := s.commitPrepared(b, prep, durable); err != nil {
@@ -417,7 +506,7 @@ func (s *Store) maybeMaintain() error {
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.checkpointLocked()
@@ -429,7 +518,7 @@ func (s *Store) Checkpoint() error {
 func (s *Store) Clean() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.cleanLocked(1<<62, true)
@@ -465,7 +554,7 @@ func (s *Store) Stats() Stats {
 func (s *Store) Verify() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	count := int64(0)
