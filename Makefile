@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check faults bench
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: vet plus the full suite under the race
-# detector (the chunk store's commit pipeline and read cache are concurrent).
-check:
+# faults runs the hostile-disk suites under the race detector in short mode:
+# programmable fault injection (transient I/O errors, bit rot, torn tails,
+# lost unsynced writes), crash sweeps at every write boundary, transient
+# retry semantics, scrub/quarantine, and repair from the backup chain.
+faults:
+	$(GO) test -race -short -count=1 \
+		-run 'Fault|Transient|Retry|IOError|Crash|Torn|Rot|Scrub|Quarantine|Degraded|Repair|Tamper|Unsynced' \
+		./internal/platform/ ./internal/chunkstore/ ./internal/backupstore/ \
+		./internal/objectstore/ .
+
+# check is the pre-merge gate: vet, the fault-injection suite, and the full
+# suite under the race detector (the chunk store's commit pipeline and read
+# cache are concurrent).
+check: faults
 	$(GO) vet ./...
 	$(GO) test -race ./...
 

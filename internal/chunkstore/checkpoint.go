@@ -104,17 +104,28 @@ func decodeSuperSlot(slot []byte, suite sec.Suite) (superblock, bool) {
 // readSuperblock loads and authenticates the superblock, returning
 // errNoSuperblock for a fresh store.
 func (s *Store) readSuperblock() (superblock, error) {
-	f, err := s.cfg.Store.Open(superblockName)
+	var f platform.File
+	attempts, err := s.cfg.Retry.run(func() error {
+		var oerr error
+		f, oerr = s.cfg.Store.Open(superblockName)
+		return oerr
+	})
 	if errors.Is(err, platform.ErrNotFound) {
 		return superblock{}, errNoSuperblock
 	}
 	if err != nil {
-		return superblock{}, err
+		return superblock{}, ioErr("open", superblockName, 0, -1, attempts, err)
 	}
 	defer f.Close()
 	buf := make([]byte, 2*superSlotSize)
-	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
-		return superblock{}, fmt.Errorf("chunkstore: reading superblock: %w", err)
+	attempts, err = s.cfg.Retry.run(func() error {
+		if _, rerr := f.ReadAt(buf, 0); rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		return nil
+	})
+	if err != nil {
+		return superblock{}, ioErr("read", superblockName, 0, 0, attempts, err)
 	}
 	sb0, ok0 := decodeSuperSlot(buf[:superSlotSize], s.suite)
 	sb1, ok1 := decodeSuperSlot(buf[superSlotSize:], s.suite)
@@ -159,20 +170,30 @@ func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64) error {
 	copy(slot[4:], payload)
 	copy(slot[4+len(payload):], mac)
 
-	f, err := s.cfg.Store.Open(superblockName)
-	if errors.Is(err, platform.ErrNotFound) {
-		f, err = s.cfg.Store.Create(superblockName)
-	}
+	var f platform.File
+	attempts, err := s.cfg.Retry.run(func() error {
+		var oerr error
+		f, oerr = s.cfg.Store.Open(superblockName)
+		if errors.Is(oerr, platform.ErrNotFound) {
+			f, oerr = s.cfg.Store.Create(superblockName)
+		}
+		return oerr
+	})
 	if err != nil {
-		return fmt.Errorf("chunkstore: opening superblock: %w", err)
+		return ioErr("open", superblockName, 0, -1, attempts, err)
 	}
 	defer f.Close()
 	off := int64(s.superSeq%2) * superSlotSize
-	if _, err := f.WriteAt(slot, off); err != nil {
-		return fmt.Errorf("chunkstore: writing superblock: %w", err)
+	attempts, err = s.cfg.Retry.run(func() error {
+		_, werr := f.WriteAt(slot, off)
+		return werr
+	})
+	if err != nil {
+		return ioErr("write", superblockName, 0, off, attempts, err)
 	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("chunkstore: syncing superblock: %w", err)
+	attempts, err = s.cfg.Retry.run(f.Sync)
+	if err != nil {
+		return ioErr("sync", superblockName, 0, -1, attempts, err)
 	}
 	return nil
 }

@@ -65,6 +65,19 @@ var (
 	// sequence space within one commit is 20 bits wide; accepting a larger
 	// batch would silently reuse IVs across different plaintexts.
 	ErrBatchTooLarge = errors.New("chunkstore: batch exceeds maximum operation count")
+	// ErrIO marks environmental storage failures: an I/O operation against
+	// the untrusted store failed (past the configured retry bound, for
+	// transient faults). Every ErrIO is a *IOError carrying the operation,
+	// segment/file, and offset, so fault reports are actionable. ErrIO is
+	// retryable at the caller's discretion; it is distinct from ErrTampered,
+	// which signals an integrity violation and is never retried.
+	ErrIO = errors.New("chunkstore: storage I/O failure")
+	// ErrDegraded is returned when reading a chunk that is individually
+	// damaged (bit rot, or quarantined by a scrub): the rest of the
+	// database remains readable, and backupstore.Repair can heal the chunk
+	// from a backup chain. The error also matches ErrTampered, since
+	// per-chunk corruption is an integrity failure.
+	ErrDegraded = errors.New("chunkstore: chunk degraded")
 	// ErrMaintenance wraps failures of post-commit maintenance (automatic
 	// checkpointing or cleaning). When Commit returns an error matching
 	// ErrMaintenance the commit itself HAS been applied — durably, for a

@@ -308,8 +308,12 @@ func (s *Store) commitPrepared(b *Batch, prep []preparedOp, durable bool) error 
 		switch op.kind {
 		case opWrite, opRestore:
 			s.rcache.put(op.cid, prep[i].hash, op.data)
+			// A committed rewrite replaces the chunk's stored bytes, so any
+			// quarantine on the old, damaged version no longer applies.
+			delete(s.quarantine, op.cid)
 		case opDealloc:
 			s.rcache.invalidate(op.cid)
+			delete(s.quarantine, op.cid)
 		}
 	}
 	b.ops = nil

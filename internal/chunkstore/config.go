@@ -58,6 +58,10 @@ type Config struct {
 	// DisableAutoCheckpoint turns off the automatic residual-size
 	// checkpoint trigger.
 	DisableAutoCheckpoint bool
+	// Retry bounds how raw segment and superblock I/O retries transient
+	// storage errors (platform.ErrTransient). Zero fields select defaults:
+	// 4 attempts with 1ms backoff doubling to a 50ms cap.
+	Retry RetryPolicy
 }
 
 func (c *Config) fillDefaults() error {
@@ -103,5 +107,6 @@ func (c *Config) fillDefaults() error {
 	if c.CommitWorkers < 0 {
 		return fmt.Errorf("chunkstore: commit workers %d negative", c.CommitWorkers)
 	}
+	c.Retry.fillDefaults()
 	return nil
 }

@@ -2,7 +2,6 @@ package chunkstore
 
 import (
 	"fmt"
-	"io"
 
 	"tdb/internal/sec"
 )
@@ -245,7 +244,7 @@ func (s *Store) scanLog(start position, fn func(loc Location, typ byte, body []b
 		if pos.off+recordHeaderSize > seg.size {
 			return pos, nil // torn header
 		}
-		if _, err := seg.file.ReadAt(hdr[:], pos.off); err != nil && err != io.EOF {
+		if err := s.segs.readAt(seg, hdr[:], pos.off); err != nil {
 			return pos, err
 		}
 		typ, bodyLen, err := decodeRecordHeader(hdr[:])
@@ -257,7 +256,7 @@ func (s *Store) scanLog(start position, fn func(loc Location, typ byte, body []b
 			return pos, nil // torn body
 		}
 		rec := make([]byte, recLen)
-		if _, err := seg.file.ReadAt(rec, pos.off); err != nil && err != io.EOF {
+		if err := s.segs.readAt(seg, rec, pos.off); err != nil {
 			return pos, err
 		}
 		if !checkRecordCRC(rec) {
@@ -435,7 +434,7 @@ func (s *Store) truncateTail(end position) error {
 		return fmt.Errorf("%w: tail segment %d missing", ErrTampered, end.seg)
 	}
 	if seg.size > end.off {
-		if err := seg.file.Truncate(end.off); err != nil {
+		if err := s.segs.truncate(seg, end.off); err != nil {
 			return err
 		}
 		seg.size = end.off

@@ -1,0 +1,117 @@
+package chunkstore
+
+import (
+	"fmt"
+	"time"
+
+	"tdb/internal/platform"
+)
+
+// Failure classification (paper §2: the untrusted store is an ordinary,
+// fallible storage system the attacker happens to control). The chunk store
+// distinguishes two families of read/write-path failures:
+//
+//   - environmental I/O failures — the device misbehaving. Transient ones
+//     (platform.ErrTransient) are absorbed by a bounded retry with backoff;
+//     failures that persist past the retry bound, and permanent ones, are
+//     surfaced as a typed *IOError carrying segment/offset context so fault
+//     reports are actionable.
+//   - integrity failures — bytes read fine but fail validation against the
+//     Merkle tree. These are ErrTampered (or the per-chunk ErrDegraded) and
+//     are NEVER retried: re-reading attacker-controlled bytes cannot make
+//     them honest, and retry loops on tampered state would only slow down
+//     detection.
+
+// IOError is a storage I/O failure with location context. It matches ErrIO
+// with errors.Is, and unwraps to the underlying platform error (so
+// errors.Is(err, platform.ErrTransient) identifies an exhausted retry on a
+// transient fault).
+type IOError struct {
+	// Op names the operation: "read", "write", "sync", "truncate",
+	// "create", "remove", "open".
+	Op string
+	// File is the name of the affected file in the untrusted store.
+	File string
+	// Seg is the segment number for segment files, 0 otherwise.
+	Seg uint64
+	// Off is the byte offset of the operation where meaningful, -1 otherwise.
+	Off int64
+	// Attempts is how many times the operation was tried (1 = no retries).
+	Attempts int
+	// Err is the final underlying error.
+	Err error
+}
+
+func (e *IOError) Error() string {
+	where := e.File
+	if e.Seg != 0 {
+		where = fmt.Sprintf("segment %d", e.Seg)
+	}
+	if e.Off >= 0 {
+		where = fmt.Sprintf("%s@%d", where, e.Off)
+	}
+	return fmt.Sprintf("chunkstore: %s %s failed after %d attempt(s): %v", e.Op, where, e.Attempts, e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }
+
+// Is makes every *IOError match the ErrIO sentinel.
+func (e *IOError) Is(target error) bool { return target == ErrIO }
+
+// RetryPolicy bounds how segment and superblock I/O retries transient
+// storage errors. Only errors matching platform.ErrTransient are retried;
+// integrity failures (ErrTampered) and simulated crashes are returned
+// immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, the first
+	// included. 0 selects the default (4); 1 disables retrying.
+	MaxAttempts int
+	// Backoff is the delay before the first retry; it doubles per retry up
+	// to MaxBackoff. 0 selects the default (1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff. 0 selects the default (50ms).
+	MaxBackoff time.Duration
+	// Sleep is the clock used between retries; nil selects time.Sleep.
+	// Tests inject a recording fake so retry timing is deterministic.
+	Sleep func(time.Duration)
+}
+
+func (p *RetryPolicy) fillDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+}
+
+// run executes fn, retrying transient failures within the policy bound. It
+// returns the attempt count alongside the final error (nil on success).
+func (p RetryPolicy) run(fn func() error) (int, error) {
+	delay := p.Backoff
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return attempt, nil
+		}
+		if !platform.IsTransient(err) || attempt >= p.MaxAttempts {
+			return attempt, err
+		}
+		p.Sleep(delay)
+		delay *= 2
+		if delay > p.MaxBackoff {
+			delay = p.MaxBackoff
+		}
+	}
+}
+
+// ioErr wraps err with operation context as a *IOError.
+func ioErr(op, file string, seg uint64, off int64, attempts int, err error) error {
+	return &IOError{Op: op, File: file, Seg: seg, Off: off, Attempts: attempts, Err: err}
+}

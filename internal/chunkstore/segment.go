@@ -49,7 +49,10 @@ type segment struct {
 	synced bool
 }
 
-// segmentSet manages all segment files of one store.
+// segmentSet manages all segment files of one store. All raw segment I/O
+// funnels through the retrying helpers below (readAt, writeAt, syncFile,
+// truncate): transient device errors are absorbed within the retry policy's
+// bound, and failures surface as *IOError with segment and offset context.
 type segmentSet struct {
 	store platform.UntrustedStore
 	segs  map[uint64]*segment
@@ -57,27 +60,85 @@ type segmentSet struct {
 	tail *segment
 	// next is the number the next created segment will get.
 	next uint64
+	// retry bounds transient-error retries on raw segment I/O.
+	retry RetryPolicy
 }
 
-func newSegmentSet(store platform.UntrustedStore) *segmentSet {
-	return &segmentSet{store: store, segs: make(map[uint64]*segment), next: 1}
+func newSegmentSet(store platform.UntrustedStore, retry RetryPolicy) *segmentSet {
+	retry.fillDefaults()
+	return &segmentSet{store: store, segs: make(map[uint64]*segment), next: 1, retry: retry}
+}
+
+// readAt reads into p at off of seg's file, retrying transient errors. A
+// short read (io.EOF) leaves the unread tail of p zeroed, matching the
+// previous direct-ReadAt behavior.
+func (ss *segmentSet) readAt(seg *segment, p []byte, off int64) error {
+	attempts, err := ss.retry.run(func() error {
+		if _, err := seg.file.ReadAt(p, off); err != nil && err != io.EOF {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return ioErr("read", segmentName(seg.num), seg.num, off, attempts, err)
+	}
+	return nil
+}
+
+// writeAt writes p at off of seg's file, retrying transient errors.
+// Rewriting the same bytes at the same offset is idempotent, so a retried
+// write that partially applied before failing is safe.
+func (ss *segmentSet) writeAt(seg *segment, p []byte, off int64) error {
+	attempts, err := ss.retry.run(func() error {
+		_, err := seg.file.WriteAt(p, off)
+		return err
+	})
+	if err != nil {
+		return ioErr("write", segmentName(seg.num), seg.num, off, attempts, err)
+	}
+	return nil
+}
+
+// syncFile syncs seg's file, retrying transient errors.
+func (ss *segmentSet) syncFile(seg *segment) error {
+	attempts, err := ss.retry.run(seg.file.Sync)
+	if err != nil {
+		return ioErr("sync", segmentName(seg.num), seg.num, -1, attempts, err)
+	}
+	return nil
+}
+
+// truncate truncates seg's file, retrying transient errors.
+func (ss *segmentSet) truncate(seg *segment, size int64) error {
+	attempts, err := ss.retry.run(func() error {
+		return seg.file.Truncate(size)
+	})
+	if err != nil {
+		return ioErr("truncate", segmentName(seg.num), seg.num, size, attempts, err)
+	}
+	return nil
 }
 
 // create opens a new tail segment.
 func (ss *segmentSet) create() (*segment, error) {
 	num := ss.next
 	ss.next++
-	f, err := ss.store.Create(segmentName(num))
+	var f platform.File
+	attempts, err := ss.retry.run(func() error {
+		var cerr error
+		f, cerr = ss.store.Create(segmentName(num))
+		return cerr
+	})
 	if err != nil {
-		return nil, fmt.Errorf("chunkstore: creating segment %d: %w", num, err)
+		return nil, ioErr("create", segmentName(num), num, -1, attempts, err)
 	}
 	var hdr [segHeaderSize]byte
 	binary.BigEndian.PutUint64(hdr[0:8], segMagic)
 	binary.BigEndian.PutUint64(hdr[8:16], num)
-	if _, err := f.WriteAt(hdr[:], 0); err != nil {
-		return nil, fmt.Errorf("chunkstore: writing segment %d header: %w", num, err)
-	}
 	seg := &segment{num: num, file: f, size: segHeaderSize}
+	if err := ss.writeAt(seg, hdr[:], 0); err != nil {
+		return nil, err
+	}
 	ss.segs[num] = seg
 	if ss.tail != nil {
 		ss.tail.sealed = true
@@ -92,24 +153,34 @@ func (ss *segmentSet) open(num uint64) (*segment, error) {
 	if seg, ok := ss.segs[num]; ok {
 		return seg, nil
 	}
-	f, err := ss.store.Open(segmentName(num))
+	var f platform.File
+	attempts, err := ss.retry.run(func() error {
+		var oerr error
+		f, oerr = ss.store.Open(segmentName(num))
+		return oerr
+	})
 	if err != nil {
-		return nil, fmt.Errorf("chunkstore: opening segment %d: %w", num, err)
+		return nil, ioErr("open", segmentName(num), num, -1, attempts, err)
 	}
-	size, err := f.Size()
+	var size int64
+	attempts, err = ss.retry.run(func() error {
+		var serr error
+		size, serr = f.Size()
+		return serr
+	})
 	if err != nil {
-		return nil, err
+		return nil, ioErr("size", segmentName(num), num, -1, attempts, err)
 	}
+	seg := &segment{num: num, file: f, size: size, sealed: true, synced: true}
 	if size >= segHeaderSize {
 		var hdr [segHeaderSize]byte
-		if _, err := f.ReadAt(hdr[:], 0); err != nil && err != io.EOF {
+		if err := ss.readAt(seg, hdr[:], 0); err != nil {
 			return nil, err
 		}
 		if binary.BigEndian.Uint64(hdr[0:8]) != segMagic || binary.BigEndian.Uint64(hdr[8:16]) != num {
 			return nil, fmt.Errorf("%w: segment %d header invalid", ErrTampered, num)
 		}
 	}
-	seg := &segment{num: num, file: f, size: size, sealed: true, synced: true}
 	ss.segs[num] = seg
 	if num >= ss.next {
 		ss.next = num + 1
@@ -139,8 +210,11 @@ func (ss *segmentSet) free(num uint64) error {
 		return err
 	}
 	delete(ss.segs, num)
-	if err := ss.store.Remove(segmentName(num)); err != nil {
-		return fmt.Errorf("chunkstore: removing segment %d: %w", num, err)
+	attempts, err := ss.retry.run(func() error {
+		return ss.store.Remove(segmentName(num))
+	})
+	if err != nil {
+		return ioErr("remove", segmentName(num), num, -1, attempts, err)
 	}
 	return nil
 }
@@ -213,7 +287,7 @@ func (ss *segmentSet) rewind(m tailMark) error {
 		}
 	}
 	if target.size > m.size {
-		if err := target.file.Truncate(m.size); err != nil {
+		if err := ss.truncate(target, m.size); err != nil {
 			return fmt.Errorf("chunkstore: truncating aborted commit tail: %w", err)
 		}
 		target.size = m.size
@@ -241,8 +315,8 @@ func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {
 	}
 	tail := ss.tail
 	loc := Location{Seg: tail.num, Off: uint32(tail.size), Len: uint32(len(rec))}
-	if _, err := tail.file.WriteAt(rec, tail.size); err != nil {
-		return Location{}, fmt.Errorf("chunkstore: appending to segment %d: %w", tail.num, err)
+	if err := ss.writeAt(tail, rec, tail.size); err != nil {
+		return Location{}, err
 	}
 	tail.size += int64(len(rec))
 	tail.synced = false
@@ -261,8 +335,8 @@ func (ss *segmentSet) readRecord(loc Location) (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: record %v out of segment bounds", ErrTampered, loc)
 	}
 	buf := make([]byte, loc.Len)
-	if _, err := seg.file.ReadAt(buf, int64(loc.Off)); err != nil && err != io.EOF {
-		return 0, nil, fmt.Errorf("chunkstore: reading record %v: %w", loc, err)
+	if err := ss.readAt(seg, buf, int64(loc.Off)); err != nil {
+		return 0, nil, err
 	}
 	typ, bodyLen, err := decodeRecordHeader(buf)
 	if err != nil {
@@ -283,8 +357,8 @@ func (ss *segmentSet) syncDirty() error {
 	for _, n := range ss.numbers() {
 		seg := ss.segs[n]
 		if !seg.synced {
-			if err := seg.file.Sync(); err != nil {
-				return fmt.Errorf("chunkstore: syncing segment %d: %w", seg.num, err)
+			if err := ss.syncFile(seg); err != nil {
+				return err
 			}
 			seg.synced = true
 		}

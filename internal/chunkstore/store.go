@@ -62,6 +62,13 @@ type Store struct {
 	// snapshots tracks open snapshots; the cleaner must not free segments
 	// they can reference.
 	snapshots map[*Snapshot]struct{}
+	// quarantine holds chunks a scrub (or an organic read) found damaged,
+	// keyed to a human-readable reason. Reads of quarantined chunks fail
+	// with ErrDegraded without touching storage; a committed rewrite of the
+	// chunk (backupstore.Repair, or any application write) lifts the
+	// quarantine. The set is in-memory only: it is a cache of verifiable
+	// damage, rediscovered by the next scrub after a restart.
+	quarantine map[ChunkID]string
 	// maintenance guards against recursive post-commit maintenance.
 	maintenance bool
 	// closed is atomic so Commit can reject work before running the (costly)
@@ -84,10 +91,11 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		cfg:       cfg,
-		suite:     cfg.Suite,
-		segs:      newSegmentSet(cfg.Store),
-		snapshots: make(map[*Snapshot]struct{}),
+		cfg:        cfg,
+		suite:      cfg.Suite,
+		segs:       newSegmentSet(cfg.Store, cfg.Retry),
+		snapshots:  make(map[*Snapshot]struct{}),
+		quarantine: make(map[ChunkID]string),
 	}
 	if cfg.UseCounter {
 		v, err := cfg.Counter.Read()
@@ -309,8 +317,18 @@ func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: %d", ErrNotAllocated, cid)
 	}
+	if reason, ok := s.quarantine[cid]; ok {
+		return nil, degradedReadErr(cid, fmt.Errorf("quarantined: %s (%w)", reason, ErrTampered))
+	}
 	plain, err := s.readChunkAt(cid, e)
 	if err != nil {
+		// Damage confined to this chunk's stored bytes degrades the chunk
+		// (and quarantines it) rather than failing like whole-store
+		// tampering; environmental I/O failures pass through untouched.
+		if errors.Is(err, ErrTampered) && !errors.Is(err, ErrIO) {
+			s.quarantine[cid] = err.Error()
+			return nil, degradedReadErr(cid, err)
+		}
 		return nil, err
 	}
 	s.rcache.put(cid, e.hash, plain)

@@ -76,6 +76,10 @@ type Options struct {
 	DisableAutoClean      bool
 	DisableAutoCheckpoint bool
 
+	// Retry governs how transient storage I/O errors are retried (zero
+	// fields select the defaults; see chunkstore.RetryPolicy).
+	Retry chunkstore.RetryPolicy
+
 	// LockTimeout bounds object lock waits (deadlock breaking); zero
 	// selects the default.
 	LockTimeout time.Duration
@@ -201,6 +205,7 @@ func (db *DB) chunkConfig() chunkstore.Config {
 		CachePool:             db.pool,
 		DisableAutoClean:      db.opts.DisableAutoClean,
 		DisableAutoCheckpoint: db.opts.DisableAutoCheckpoint,
+		Retry:                 db.opts.Retry,
 	}
 }
 
@@ -265,6 +270,21 @@ func (db *DB) Clean() error { return db.chunks.Clean() }
 
 // Stats reports storage statistics.
 func (db *DB) Stats() chunkstore.Stats { return db.chunks.Stats() }
+
+// Scrub audits every live chunk against the Merkle tree and reports (and
+// quarantines) the damaged ones. Unlike Verify, which fails on the first
+// problem, Scrub is damage-tolerant: it enumerates everything wrong so the
+// damage can be repaired from backups.
+func (db *DB) Scrub() (*chunkstore.ScrubReport, error) { return db.chunks.Scrub() }
+
+// Repair heals the damaged chunks in a scrub report from the archive's
+// backup chain, then re-scrubs to prove the store is whole.
+func (db *DB) Repair(report *chunkstore.ScrubReport) (*backupstore.RepairResult, error) {
+	if db.opts.Archive == nil {
+		return nil, errors.New("core: no archive configured")
+	}
+	return backupstore.Repair(db.chunks, db.opts.Archive, db.suite, report)
+}
 
 // BackupFull writes a full backup to the archive.
 func (db *DB) BackupFull() (backupstore.Info, error) {

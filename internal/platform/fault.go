@@ -2,32 +2,93 @@ package platform
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 )
 
-// FaultStore wraps an UntrustedStore and injects crashes: after a configured
-// number of write operations (WriteAt, Truncate, or Sync), every subsequent
-// operation fails with ErrCrashed. Combined with MemStore.Crash it lets the
-// recovery tests stop the database at every possible write boundary and
-// verify that recovery restores exactly the last durably committed state.
+// FaultStore wraps an UntrustedStore with a programmable fault injector. It
+// models the failure matrix of a hostile or failing disk, and its modes
+// compose freely:
+//
+//   - crash budget: after a configured number of mutating operations
+//     (Create, WriteAt, Truncate, Sync, Remove), every subsequent operation
+//     fails with ErrCrashed. Combined with MemStore.Crash it lets the
+//     recovery tests stop the database at every possible write boundary.
+//   - torn tail: the final write before the crash applies only half of its
+//     bytes, modeling a torn sector write.
+//   - transient errors: selected read/write operations fail with
+//     ErrTransient a configured number of times, then succeed when the same
+//     operation is retried — a bus timeout or recoverable media error.
+//   - write rot: selected writes silently flip one bit of the stored bytes,
+//     modeling firmware bit-rot on the write path. FlipBit corrupts bytes
+//     already at rest.
+//   - lost unsynced writes: with SetLoseUnsynced, the store behaves like a
+//     write-back cache: CrashLoseUnsynced reverts every file to its content
+//     as of its last Sync, discarding writes the device never acknowledged.
 //
 // The zero budget (-1) means "never crash".
 type FaultStore struct {
 	mu sync.Mutex
 	// inner is the wrapped store.
 	inner UntrustedStore
-	// writesLeft counts down on every mutating file operation; at zero the
-	// store crashes.
+	// writesLeft counts down on every mutating operation; at zero the store
+	// crashes.
 	writesLeft int64
 	crashed    bool
 	// TornTail, when true, makes the final write before the crash apply only
 	// half of its bytes, modeling a torn sector write.
 	TornTail bool
+
+	// Transient-error injection: every readEvery-th read (resp.
+	// writeEvery-th mutating op) fails with ErrTransient readFailures
+	// (resp. writeFailures) times before the retried operation succeeds.
+	readEvery     int64
+	readFailures  int
+	writeEvery    int64
+	writeFailures int
+	// afflicted tracks, per operation key, how many more attempts of that
+	// operation must still fail.
+	afflicted map[string]int
+	readSeq   int64
+	writeSeq  int64
+
+	// rotEvery, when >0, flips one bit in the payload of every rotEvery-th
+	// WriteAt before it reaches the inner store.
+	rotEvery int64
+	rotSeq   int64
+
+	// loseUnsynced arms the write-back cache model: the pre-mutation content
+	// of every touched file is retained until that file's Sync, so
+	// CrashLoseUnsynced can revert it.
+	loseUnsynced bool
+	// unsynced maps file name to the durable (last-synced) content of files
+	// with unacknowledged writes.
+	unsynced map[string][]byte
+
+	stats FaultStats
 }
 
-// NewFaultStore wraps inner with crash injection disabled.
+// FaultStats counts operations observed and faults injected.
+type FaultStats struct {
+	// Reads and Writes count ReadAt and mutating operations that reached
+	// the injector (including ones that then failed).
+	Reads  int64
+	Writes int64
+	// TransientErrors counts injected ErrTransient failures.
+	TransientErrors int64
+	// BitsFlipped counts bits corrupted by write rot and FlipBit.
+	BitsFlipped int64
+}
+
+// NewFaultStore wraps inner with all fault injection disabled.
 func NewFaultStore(inner UntrustedStore) *FaultStore {
-	return &FaultStore{inner: inner, writesLeft: -1}
+	return &FaultStore{
+		inner:      inner,
+		writesLeft: -1,
+		afflicted:  make(map[string]int),
+		unsynced:   make(map[string][]byte),
+	}
 }
 
 // SetWriteBudget arms the store to crash after n more mutating operations.
@@ -36,6 +97,102 @@ func (s *FaultStore) SetWriteBudget(n int64) {
 	defer s.mu.Unlock()
 	s.writesLeft = n
 	s.crashed = false
+}
+
+// SetTransientReads makes every every-th ReadAt fail with ErrTransient;
+// retrying the same read succeeds after failures failed attempts. every <= 0
+// disables read-error injection.
+func (s *FaultStore) SetTransientReads(every int64, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readEvery = every
+	s.readFailures = failures
+	s.readSeq = 0
+	// Reconfiguring models the device changing behavior: in-flight read
+	// afflictions are forgotten.
+	for key := range s.afflicted {
+		if strings.HasPrefix(key, "read:") {
+			delete(s.afflicted, key)
+		}
+	}
+}
+
+// SetTransientWrites makes every every-th mutating operation (WriteAt,
+// Truncate, Sync) fail with ErrTransient; retrying the same operation
+// succeeds after failures failed attempts. Injected failures happen before
+// the operation touches the inner store and do not consume crash budget.
+// every <= 0 disables write-error injection.
+func (s *FaultStore) SetTransientWrites(every int64, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeEvery = every
+	s.writeFailures = failures
+	s.writeSeq = 0
+	for key := range s.afflicted {
+		if !strings.HasPrefix(key, "read:") {
+			delete(s.afflicted, key)
+		}
+	}
+}
+
+// SetWriteRot makes every every-th WriteAt silently flip one bit of its
+// payload before storing it — the write "succeeds" but the stored bytes are
+// rotten. every <= 0 disables rot.
+func (s *FaultStore) SetWriteRot(every int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotEvery = every
+	s.rotSeq = 0
+}
+
+// SetLoseUnsynced toggles the write-back cache model. While enabled, the
+// store remembers each file's last-synced content so CrashLoseUnsynced can
+// discard unacknowledged writes.
+func (s *FaultStore) SetLoseUnsynced(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loseUnsynced = on
+	if !on {
+		s.unsynced = make(map[string][]byte)
+	}
+}
+
+// CrashLoseUnsynced simulates a power loss under the write-back cache
+// model: every file with unacknowledged writes reverts to its last-synced
+// content. The store is usable again afterwards (modeling a reboot): the
+// crashed flag and write budget are cleared, transient and rot injection
+// remain configured.
+func (s *FaultStore) CrashLoseUnsynced() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loseUnsynced {
+		return fmt.Errorf("platform: CrashLoseUnsynced without SetLoseUnsynced")
+	}
+	for name, durable := range s.unsynced {
+		f, err := s.inner.Open(name)
+		if err != nil {
+			return fmt.Errorf("platform: reverting %q: %w", name, err)
+		}
+		err = func() error {
+			defer f.Close()
+			if err := f.Truncate(0); err != nil {
+				return err
+			}
+			if len(durable) > 0 {
+				if _, err := f.WriteAt(durable, 0); err != nil {
+					return err
+				}
+			}
+			return f.Sync()
+		}()
+		if err != nil {
+			return fmt.Errorf("platform: reverting %q: %w", name, err)
+		}
+	}
+	s.unsynced = make(map[string][]byte)
+	s.crashed = false
+	s.writesLeft = -1
+	return nil
 }
 
 // Crashed reports whether the injected crash has fired.
@@ -53,13 +210,76 @@ func (s *FaultStore) WriteOps() int64 {
 	return s.writesLeft
 }
 
-// beforeWrite consumes one unit of write budget. It returns (tear, err):
-// tear is true when this is the final, torn write.
-func (s *FaultStore) beforeWrite() (bool, error) {
+// Stats returns a copy of the fault counters.
+func (s *FaultStore) Stats() FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// FlipBit flips the given bit of the byte at off in the named file,
+// bypassing budget accounting and the write-back model. It models bit-rot
+// of bytes at rest (or an attacker editing the store off-line).
+func (s *FaultStore) FlipBit(name string, off int64, bit uint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil && err != io.EOF {
+		return fmt.Errorf("platform: FlipBit read %q@%d: %w", name, off, err)
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("platform: FlipBit write %q@%d: %w", name, off, err)
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	s.stats.BitsFlipped++
+	return nil
+}
+
+// injectTransient decides whether the operation identified by key fails
+// with an injected transient error this attempt. Caller holds s.mu.
+func (s *FaultStore) injectTransient(key string, seq *int64, every int64, failures int) bool {
+	if rem, ok := s.afflicted[key]; ok {
+		if rem > 0 {
+			s.afflicted[key] = rem - 1
+			s.stats.TransientErrors++
+			return true
+		}
+		// Fully drained: this retry succeeds and the key is forgotten.
+		delete(s.afflicted, key)
+		return false
+	}
+	if every <= 0 || failures <= 0 {
+		return false
+	}
+	*seq++
+	if *seq%every == 0 {
+		s.afflicted[key] = failures - 1
+		s.stats.TransientErrors++
+		return true
+	}
+	return false
+}
+
+// beforeWrite consumes one unit of write budget for the mutating operation
+// identified by key. It returns (tear, err): tear is true when this is the
+// final, torn write.
+func (s *FaultStore) beforeWrite(key string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.crashed {
 		return false, ErrCrashed
+	}
+	s.stats.Writes++
+	if s.injectTransient(key, &s.writeSeq, s.writeEvery, s.writeFailures) {
+		return false, fmt.Errorf("platform: %s: %w", key, ErrTransient)
 	}
 	if s.writesLeft < 0 {
 		return false, nil
@@ -76,6 +296,21 @@ func (s *FaultStore) beforeWrite() (bool, error) {
 	return false, nil
 }
 
+// beforeRead gates a read operation: crashed stores fail, and the read may
+// draw an injected transient error.
+func (s *FaultStore) beforeRead(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	s.stats.Reads++
+	if s.injectTransient(key, &s.readSeq, s.readEvery, s.readFailures) {
+		return fmt.Errorf("platform: %s: %w", key, ErrTransient)
+	}
+	return nil
+}
+
 func (s *FaultStore) failIfCrashed() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -85,16 +320,76 @@ func (s *FaultStore) failIfCrashed() error {
 	return nil
 }
 
-// Create implements UntrustedStore.
+// noteUnsynced snapshots the durable content of the named file before its
+// first unacknowledged mutation. Caller holds s.mu.
+func (s *FaultStore) noteUnsynced(name string, f File) error {
+	if !s.loseUnsynced {
+		return nil
+	}
+	if _, ok := s.unsynced[name]; ok {
+		return nil
+	}
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	s.unsynced[name] = buf
+	return nil
+}
+
+// noteSynced marks the named file's content acknowledged. Caller holds s.mu.
+func (s *FaultStore) noteSynced(name string) {
+	delete(s.unsynced, name)
+}
+
+// maybeRot flips one bit of p (in a copy) when this write is selected for
+// rot. Caller holds s.mu.
+func (s *FaultStore) maybeRot(p []byte) []byte {
+	if s.rotEvery <= 0 || len(p) == 0 {
+		return p
+	}
+	s.rotSeq++
+	if s.rotSeq%s.rotEvery != 0 {
+		return p
+	}
+	rotten := append([]byte(nil), p...)
+	// Flip a middle bit so both short and long payloads are affected away
+	// from framing bytes often checked first.
+	rotten[len(rotten)/2] ^= 0x10
+	s.stats.BitsFlipped++
+	return rotten
+}
+
+// Create implements UntrustedStore. File creation is a mutating operation:
+// it consumes write budget, so crash sweeps cover the creation boundary.
 func (s *FaultStore) Create(name string) (File, error) {
-	if err := s.failIfCrashed(); err != nil {
+	// A "torn" create is meaningless; the tear flag only marks that the
+	// budget is exhausted, which subsequent operations will observe.
+	if _, err := s.beforeWrite("create:" + name); err != nil {
 		return nil, err
 	}
 	f, err := s.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{store: s, inner: f}, nil
+	s.mu.Lock()
+	if s.loseUnsynced {
+		if _, ok := s.unsynced[name]; !ok {
+			// A freshly created file's durable content is empty: after a
+			// write-back crash it reverts to zero length (matching MemStore,
+			// where creation is directory metadata and survives, but content
+			// does not).
+			s.unsynced[name] = nil
+		}
+	}
+	s.mu.Unlock()
+	return &faultFile{store: s, inner: f, name: name}, nil
 }
 
 // Open implements UntrustedStore.
@@ -106,14 +401,19 @@ func (s *FaultStore) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{store: s, inner: f}, nil
+	return &faultFile{store: s, inner: f, name: name}, nil
 }
 
 // Remove implements UntrustedStore.
 func (s *FaultStore) Remove(name string) error {
-	if _, err := s.beforeWrite(); err != nil {
+	if _, err := s.beforeWrite("remove:" + name); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	// Directory operations are treated as immediately durable (as in
+	// MemStore); a removed file cannot be resurrected by a write-back crash.
+	delete(s.unsynced, name)
+	s.mu.Unlock()
 	return s.inner.Remove(name)
 }
 
@@ -136,20 +436,28 @@ func (s *FaultStore) Sync() error {
 type faultFile struct {
 	store *FaultStore
 	inner File
+	name  string
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.store.failIfCrashed(); err != nil {
+	if err := f.store.beforeRead(fmt.Sprintf("read:%s@%d", f.name, off)); err != nil {
 		return 0, err
 	}
 	return f.inner.ReadAt(p, off)
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	tear, err := f.store.beforeWrite()
+	tear, err := f.store.beforeWrite(fmt.Sprintf("write:%s@%d", f.name, off))
 	if err != nil {
 		return 0, err
 	}
+	f.store.mu.Lock()
+	if err := f.store.noteUnsynced(f.name, f.inner); err != nil {
+		f.store.mu.Unlock()
+		return 0, err
+	}
+	p = f.store.maybeRot(p)
+	f.store.mu.Unlock()
 	if tear && len(p) > 1 {
 		half := len(p) / 2
 		if _, err := f.inner.WriteAt(p[:half], off); err != nil {
@@ -168,17 +476,29 @@ func (f *faultFile) Size() (int64, error) {
 }
 
 func (f *faultFile) Truncate(size int64) error {
-	if _, err := f.store.beforeWrite(); err != nil {
+	if _, err := f.store.beforeWrite(fmt.Sprintf("truncate:%s@%d", f.name, size)); err != nil {
 		return err
 	}
+	f.store.mu.Lock()
+	if err := f.store.noteUnsynced(f.name, f.inner); err != nil {
+		f.store.mu.Unlock()
+		return err
+	}
+	f.store.mu.Unlock()
 	return f.inner.Truncate(size)
 }
 
 func (f *faultFile) Sync() error {
-	if _, err := f.store.beforeWrite(); err != nil {
+	if _, err := f.store.beforeWrite("sync:" + f.name); err != nil {
 		return err
 	}
-	return f.inner.Sync()
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.store.mu.Lock()
+	f.store.noteSynced(f.name)
+	f.store.mu.Unlock()
+	return nil
 }
 
 func (f *faultFile) Close() error { return f.inner.Close() }

@@ -98,3 +98,214 @@ func TestFaultStoreTornTailDurable(t *testing.T) {
 		t.Fatalf("sync: %v", err)
 	}
 }
+
+func TestFaultStoreCreateConsumesBudget(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetWriteBudget(1)
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatalf("Create within budget: %v", err)
+	}
+	if _, err := fs.Create("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create past budget: got %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("store should report crashed")
+	}
+	// The second file must not exist: the crash fired before creation.
+	if _, err := mem.Open("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("file b exists despite crashed create: %v", err)
+	}
+}
+
+func TestFaultStoreTransientReads(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	f, _ := fs.Create("a")
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	fs.SetTransientReads(1, 2) // every read fails twice before succeeding
+	buf := make([]byte, 5)
+	for attempt := 1; attempt <= 2; attempt++ {
+		_, err := f.ReadAt(buf, 0)
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d: got %v, want ErrTransient", attempt, err)
+		}
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("retry after transient failures: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q, want %q", buf, "hello")
+	}
+	if got := fs.Stats().TransientErrors; got != 2 {
+		t.Fatalf("TransientErrors = %d, want 2", got)
+	}
+}
+
+func TestFaultStoreTransientWritesDoNotConsumeBudget(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	f, _ := fs.Create("a")
+	fs.SetWriteBudget(2)
+	fs.SetTransientWrites(1, 1) // every mutating op fails once
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrTransient) {
+		t.Fatalf("first attempt: got %v, want ErrTransient", err)
+	}
+	if fs.WriteOps() != 2 {
+		t.Fatalf("transient failure consumed budget: %d left, want 2", fs.WriteOps())
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if fs.WriteOps() != 1 {
+		t.Fatalf("budget after successful write: %d, want 1", fs.WriteOps())
+	}
+}
+
+func TestFaultStoreTransientEveryNth(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	f, _ := fs.Create("a")
+	fs.SetTransientWrites(3, 1) // every 3rd distinct mutating op fails once
+	failures := 0
+	for i := 0; i < 9; i++ {
+		if _, err := f.WriteAt([]byte{byte(i)}, int64(i)); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			failures++
+			// Retry the same op; it must succeed.
+			if _, err := f.WriteAt([]byte{byte(i)}, int64(i)); err != nil {
+				t.Fatalf("retry of write %d: %v", i, err)
+			}
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("injected %d failures over 9 ops at every=3, want 3", failures)
+	}
+}
+
+func TestFaultStoreWriteRot(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	f, _ := fs.Create("a")
+	fs.SetWriteRot(2) // every 2nd write stores rotten bytes
+	clean := []byte("0123456789")
+	if _, err := f.WriteAt(clean, 0); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.WriteAt(clean, 16); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	buf := make([]byte, 10)
+	f.ReadAt(buf, 0)
+	if string(buf) != "0123456789" {
+		t.Fatalf("first write rotted: %q", buf)
+	}
+	f.ReadAt(buf, 16)
+	if string(buf) == "0123456789" {
+		t.Fatal("second write should have been rotted")
+	}
+	// The caller's slice must be untouched; only the stored copy rots.
+	if string(clean) != "0123456789" {
+		t.Fatalf("caller's payload mutated: %q", clean)
+	}
+	if got := fs.Stats().BitsFlipped; got != 1 {
+		t.Fatalf("BitsFlipped = %d, want 1", got)
+	}
+}
+
+func TestFaultStoreFlipBit(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte{0x0f}, 3)
+	f.Sync()
+	if err := fs.FlipBit("a", 3, 0); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	var b [1]byte
+	f.ReadAt(b[:], 3)
+	if b[0] != 0x0e {
+		t.Fatalf("byte after flip: %#x, want 0x0e", b[0])
+	}
+}
+
+func TestFaultStoreLoseUnsyncedWrites(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetLoseUnsynced(true)
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Unacknowledged overwrite + extension, then power loss.
+	f.WriteAt([]byte("VOLATILE-VOLATILE"), 0)
+	if err := fs.CrashLoseUnsynced(); err != nil {
+		t.Fatalf("CrashLoseUnsynced: %v", err)
+	}
+	g, err := fs.Open("a")
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	size, _ := g.Size()
+	if size != int64(len("durable")) {
+		t.Fatalf("size after crash: %d, want %d", size, len("durable"))
+	}
+	buf := make([]byte, size)
+	g.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("content after crash: %q, want %q", buf, "durable")
+	}
+}
+
+func TestFaultStoreLoseUnsyncedCreatedFile(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetLoseUnsynced(true)
+	f, _ := fs.Create("fresh")
+	f.WriteAt([]byte("never synced"), 0)
+	if err := fs.CrashLoseUnsynced(); err != nil {
+		t.Fatalf("CrashLoseUnsynced: %v", err)
+	}
+	g, err := fs.Open("fresh")
+	if err != nil {
+		t.Fatalf("created file should survive as empty: %v", err)
+	}
+	if size, _ := g.Size(); size != 0 {
+		t.Fatalf("unsynced content survived: size=%d", size)
+	}
+}
+
+func TestFaultStoreLoseUnsyncedComposesWithBudget(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetLoseUnsynced(true)
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte("base"), 0)
+	f.Sync()
+	fs.SetWriteBudget(1)
+	if _, err := f.WriteAt([]byte("NEWDATA"), 0); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync past budget: got %v, want ErrCrashed", err)
+	}
+	// The write landed but its sync never did: a write-back crash loses it.
+	if err := fs.CrashLoseUnsynced(); err != nil {
+		t.Fatalf("CrashLoseUnsynced: %v", err)
+	}
+	g, _ := fs.Open("a")
+	size, _ := g.Size()
+	buf := make([]byte, size)
+	g.ReadAt(buf, 0)
+	if string(buf) != "base" {
+		t.Fatalf("content after write-back crash: %q, want %q", buf, "base")
+	}
+}

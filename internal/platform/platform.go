@@ -31,7 +31,15 @@ var (
 	// ErrCrashed is returned by a FaultStore after its crash point has been
 	// reached; it simulates the device losing power.
 	ErrCrashed = errors.New("platform: simulated crash")
+	// ErrTransient marks I/O errors that are expected to clear on retry —
+	// the storage-stack equivalent of a bus timeout or a recoverable media
+	// error. Layers above may retry operations failing with ErrTransient;
+	// any other failure is permanent from the device's point of view.
+	ErrTransient = errors.New("platform: transient I/O error")
 )
+
+// IsTransient reports whether err is a retryable transient I/O error.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // File is a random-access file in an untrusted store. It is the unit the
 // chunk store builds log segments, anchors and counters from.

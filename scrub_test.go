@@ -1,0 +1,189 @@
+package tdb_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"tdb"
+	"tdb/internal/platform"
+)
+
+// TestScrubRepairPublicAPI exercises the full scrub-and-repair lifecycle
+// through the public API: back up a database, rot stored chunks, and prove
+// that Scrub pinpoints the damage and Repair heals it from the archive.
+func TestScrubRepairPublicAPI(t *testing.T) {
+	reg := tdb.NewRegistry()
+	reg.Register(songClass, func() tdb.Object { return &Song{} })
+	store := platform.NewMemStore()
+	arch := platform.NewMemArchive()
+	opts := tdb.Options{
+		Store:    store,
+		Counter:  platform.NewMemCounter(),
+		Secret:   []byte("scrub-repair-secret-0123456789ab"),
+		Registry: reg,
+		Archive:  arch,
+	}
+	db, err := tdb.Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	txn := db.Begin()
+	songs, err := txn.CreateCollection("songs", songByID())
+	if err != nil {
+		t.Fatalf("CreateCollection: %v", err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		if _, err := songs.Insert(&Song{ID: i, Title: fmt.Sprintf("track-%d", i), Plays: i * 10}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := txn.Commit(true); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := db.BackupFull(); err != nil {
+		t.Fatalf("BackupFull: %v", err)
+	}
+	// Checkpoint so reopen's recovery replay starts after the records we
+	// are about to rot.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	// Capture the stored ciphertexts of two live chunks (the two with the
+	// highest ids — chunk 1 is the object-store root pointer, read at open).
+	sn, err := db.Chunks().TakeSnapshot()
+	if err != nil {
+		t.Fatalf("TakeSnapshot: %v", err)
+	}
+	cts := map[tdb.ChunkID][]byte{}
+	err = sn.ForEach(func(cid tdb.ChunkID, hash, ciphertext []byte) error {
+		cts[cid] = append([]byte(nil), ciphertext...)
+		return nil
+	})
+	sn.Close()
+	if err != nil {
+		t.Fatalf("snapshot walk: %v", err)
+	}
+	var victims []tdb.ChunkID
+	for cid := range cts {
+		victims = append(victims, cid)
+	}
+	for i := range victims {
+		for j := i + 1; j < len(victims); j++ {
+			if victims[j] > victims[i] {
+				victims[i], victims[j] = victims[j], victims[i]
+			}
+		}
+	}
+	victims = victims[:2]
+	if victims[0] < victims[1] {
+		t.Fatalf("victims not sorted descending: %v", victims)
+	}
+	victims[0], victims[1] = victims[1], victims[0] // ascending, like reports
+
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, cid := range victims {
+		ct := cts[cid]
+		found := false
+		for name, data := range store.Snapshot() {
+			if i := bytes.Index(data, ct); i >= 0 {
+				if err := store.Corrupt(name, int64(i+len(ct)/2)); err != nil {
+					t.Fatalf("Corrupt: %v", err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("ciphertext of chunk %d not found in stored files", cid)
+		}
+	}
+
+	// Reopen: the database still opens — damage is contained, not fatal.
+	db, err = tdb.Open(opts)
+	if err != nil {
+		t.Fatalf("reopen over rotten store: %v", err)
+	}
+	defer db.Close()
+
+	report, err := db.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if got, want := fmt.Sprint(report.BadIDs()), fmt.Sprint(victims); got != want {
+		t.Fatalf("scrub found %v, want %v", got, want)
+	}
+	if len(report.MapDamage) != 0 {
+		t.Fatalf("unexpected map damage: %v", report.MapDamage)
+	}
+
+	res, err := db.Repair(report)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got, want := fmt.Sprint(res.Healed), fmt.Sprint(victims); got != want {
+		t.Fatalf("Repair healed %v, want %v", got, want)
+	}
+	if len(res.Unrepairable) != 0 {
+		t.Fatalf("unrepairable chunks: %v", res.Unrepairable)
+	}
+	if !res.Report.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v", res.Report)
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatalf("Verify after repair: %v", err)
+	}
+
+	// Every song reads back intact through the collection API.
+	txn2 := db.Begin()
+	defer txn2.Abort()
+	h, err := txn2.ReadCollection("songs")
+	if err != nil {
+		t.Fatalf("ReadCollection: %v", err)
+	}
+	it, err := h.Query(songByID())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	seen := map[int64]int64{}
+	for it.Next() {
+		s, err := tdb.ReadAs[*Song](it)
+		if err != nil {
+			t.Fatalf("ReadAs after repair: %v", err)
+		}
+		seen[s.ID] = s.Plays
+	}
+	it.Close()
+	if len(seen) != 8 {
+		t.Fatalf("read back %d songs, want 8", len(seen))
+	}
+	for i := int64(1); i <= 8; i++ {
+		if seen[i] != i*10 {
+			t.Fatalf("song %d plays = %d, want %d", i, seen[i], i*10)
+		}
+	}
+}
+
+// TestRepairWithoutArchive proves Repair fails cleanly when no archive is
+// configured rather than panicking or silently doing nothing.
+func TestRepairWithoutArchive(t *testing.T) {
+	db, _ := openTestDB(t)
+	defer db.Close()
+	report, err := db.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if !report.Clean() {
+		t.Fatalf("fresh database scrubs dirty: %+v", report)
+	}
+	if _, err := db.Repair(report); err == nil {
+		t.Fatal("Repair without an archive succeeded")
+	} else if errors.Is(err, tdb.ErrTampered) {
+		t.Fatalf("Repair without archive misreported tampering: %v", err)
+	}
+}

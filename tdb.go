@@ -40,7 +40,8 @@ import (
 )
 
 // DB is an open database. See core.DB for the full method set: Begin,
-// Close, Verify, Checkpoint, Clean, Stats, BackupFull, BackupIncremental.
+// Close, Verify, Checkpoint, Clean, Stats, BackupFull, BackupIncremental,
+// Scrub, Repair.
 type DB = core.DB
 
 // Options configures Open and Restore.
@@ -59,6 +60,33 @@ func Restore(opts Options, archive platform.ArchivalStore) (*DB, error) {
 // ErrTampered is the tamper-detection signal: validation of stored data,
 // the signed database anchor, or the one-way counter failed.
 var ErrTampered = chunkstore.ErrTampered
+
+// Storage health errors. ErrIO is an environmental storage failure that
+// persisted through retries (distinct from tampering — the bytes never
+// arrived, as opposed to arriving wrong). ErrDegraded marks reads of chunks
+// known to be damaged on disk: the rest of the database keeps working, and
+// the damaged chunks can be healed with Scrub + Repair. A degraded read
+// also matches ErrTampered, since verifiable damage is what quarantined
+// the chunk.
+var (
+	ErrIO       = chunkstore.ErrIO
+	ErrDegraded = chunkstore.ErrDegraded
+)
+
+// Storage-health types: scrubbing, quarantine, and repair from backups.
+type (
+	// ChunkID names a chunk of the underlying trusted chunk store (scrub
+	// reports and repair results identify damage by chunk id).
+	ChunkID = chunkstore.ChunkID
+	// ScrubReport enumerates the damage a Scrub pass found.
+	ScrubReport = chunkstore.ScrubReport
+	// BadChunk describes one damaged chunk in a ScrubReport.
+	BadChunk = chunkstore.BadChunk
+	// RepairResult reports what Repair healed and what remains.
+	RepairResult = backupstore.RepairResult
+	// RetryPolicy tunes transient-I/O retry (Options.Retry).
+	RetryPolicy = chunkstore.RetryPolicy
+)
 
 // Object store types: persistent objects, pickling, class registry.
 type (
