@@ -1,12 +1,21 @@
 GO ?= go
+# LINTFLAGS passes extra flags to tdblint, e.g. an escape hatch while
+# iterating: make check LINTFLAGS='-skip locked-io'.
+LINTFLAGS ?=
 
-.PHONY: build test check faults bench
+.PHONY: build test check faults lint bench
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# lint runs the in-tree analyzer suite (cmd/tdblint) over the whole module:
+# lock-region I/O discipline, error-taxonomy conformance, secret hygiene,
+# clock injection, and unlock-path pairing. Stdlib-only; see DESIGN.md §6.
+lint:
+	$(GO) run ./cmd/tdblint $(LINTFLAGS) ./...
 
 # faults runs the hostile-disk suites under the race detector in short mode:
 # programmable fault injection (transient I/O errors, bit rot, torn tails,
@@ -18,11 +27,12 @@ faults:
 		./internal/platform/ ./internal/chunkstore/ ./internal/backupstore/ \
 		./internal/objectstore/ .
 
-# check is the pre-merge gate: vet, the fault-injection suite, and the full
-# suite under the race detector (the chunk store's commit pipeline and read
-# cache are concurrent).
+# check is the pre-merge gate: the fault-injection suite, vet, the trust-
+# invariant analyzers, and the full suite under the race detector (the chunk
+# store's commit pipeline and read cache are concurrent).
 check: faults
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 
 bench:

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// secret-hygiene enforces the paper's §3 threat-model discipline for key
+// material: nothing derived from the device secret may reach a log or a
+// formatted error, and non-cryptographic randomness is banned outside
+// tests. Identifiers are matched by name — key, iv, secret, plaintext,
+// plain, passphrase as camelCase/snake_case words — inside arguments of
+// fmt/log formatting calls in the crypto-bearing packages (internal/sec,
+// internal/chunkstore). len()/cap() of secret material is allowed: lengths
+// are not secrets.
+//
+// clock-injection keeps retry/recovery/checkpoint timing deterministic and
+// testable: internal/chunkstore and internal/backupstore thread an
+// injectable clock (chunkstore.RetryPolicy.Sleep), so bare time.Now /
+// time.Sleep calls there bypass the injection seam and are reported.
+
+var secretWords = map[string]bool{
+	"key": true, "iv": true, "secret": true,
+	"plaintext": true, "plain": true, "passphrase": true,
+}
+
+// secretScope lists package suffixes where the formatting check applies.
+var secretScope = []string{"internal/sec", "internal/chunkstore"}
+
+// clockScope lists package suffixes where bare clock calls are banned.
+var clockScope = []string{"internal/chunkstore", "internal/backupstore"}
+
+var formatFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// identWords splits an identifier into lowercase words on case boundaries
+// and underscores: "macKey" → ["mac", "key"], "iv_seed" → ["iv", "seed"].
+func identWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+func namesSecret(name string) bool {
+	for _, w := range identWords(name) {
+		if secretWords[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgQualifiedCall resolves a call of the form pkg.Func where pkg is an
+// imported package name, returning "path.Func" (e.g. "fmt.Errorf",
+// "time.Now"). Uses type information when available so import aliases
+// resolve correctly.
+func pkgQualifiedCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return selQualified(pkg, sel)
+}
+
+// secretHygiene runs both sub-checks over one package.
+func (l *linter) secretHygiene(pkg *Package) {
+	// math/rand is banned in non-test files module-wide: the only
+	// legitimate randomness near the trust boundary is crypto/rand, and
+	// benchmark-only exceptions must carry a reasoned suppression.
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				l.report(imp.Pos(), "secret-hygiene",
+					"math/rand imported outside _test.go; use crypto/rand near secret material")
+			}
+		}
+	}
+
+	if !pathIn(pkg.Path, secretScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			target := pkgQualifiedCall(pkg, call)
+			dot := strings.LastIndex(target, ".")
+			if dot < 0 {
+				return true
+			}
+			if p, fn := target[:dot], target[dot+1:]; (p != "fmt" && p != "log") || !formatFuncs[fn] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if name, ok := secretArgIdent(arg); ok {
+					l.report(arg.Pos(), "secret-hygiene",
+						"%q flows into %s; secret material must never be formatted or logged", name, target)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// secretArgIdent reports whether an argument expression mentions an
+// identifier that names secret material, skipping len/cap (lengths are not
+// secrets).
+func secretArgIdent(arg ast.Expr) (string, bool) {
+	found := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if fn, isIdent := call.Fun.(*ast.Ident); isIdent && (fn.Name == "len" || fn.Name == "cap") {
+				return false
+			}
+		}
+		if sel, isSel := n.(*ast.SelectorExpr); isSel {
+			if namesSecret(sel.Sel.Name) {
+				found = sel.Sel.Name
+			}
+			return false // base identifiers of selectors are containers, not the material
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent && namesSecret(id.Name) {
+			found = id.Name
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// clockInjection reports bare clock uses — calls or function values — in
+// the packages that thread an injectable clock.
+func (l *linter) clockInjection(pkg *Package) {
+	if !pathIn(pkg.Path, clockScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			switch target := selQualified(pkg, sel); target {
+			case "time.Now", "time.Sleep":
+				l.report(sel.Pos(), "clock-injection",
+					"bare %s in clock-injected code; thread the injectable clock (see chunkstore.RetryPolicy.Sleep) so tests stay deterministic",
+					target)
+			}
+			return true
+		})
+	}
+}
+
+// selQualified resolves pkg.Name selector expressions to "path.Name",
+// using type information so import aliases resolve correctly.
+func selQualified(pkg *Package, sel *ast.SelectorExpr) string {
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pkg.Info != nil {
+		if pn, ok := pkg.Info.Uses[base].(*types.PkgName); ok {
+			return pn.Imported().Path() + "." + sel.Sel.Name
+		}
+		return ""
+	}
+	return base.Name + "." + sel.Sel.Name
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// tdblint enforces TDB's trust invariants statically (DESIGN.md §6):
+//
+//	locked-io        no platform I/O or crypto-suite work reachable while a
+//	                 mutex is held, outside declared serialization points
+//	err-taxonomy     sentinel comparisons use errors.Is; storage errors in
+//	                 chunkstore/backupstore wrap a sentinel via %w
+//	secret-hygiene   no key/IV/plaintext material in fmt/log formatting;
+//	                 math/rand banned outside tests
+//	clock-injection  no bare time.Now/time.Sleep in code that threads an
+//	                 injectable clock
+//	unlock-path      no return while a non-deferred mutex is held
+//
+// Findings are suppressed, one site at a time, with
+//
+//	//tdblint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above. The reason is mandatory: a bare
+// ignore is itself reported. Functions that are designed to run with a lock
+// held (and may therefore perform I/O or crypto under it) declare that with
+// a *Locked name suffix or a
+//
+//	//tdblint:serial <reason>
+//
+// comment on the declaration; locked-io treats them as reviewed
+// serialization points and does not descend into them.
+
+// A Finding is one diagnostic, formatted as "file:line: [analyzer] message".
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// linter runs the analyzer suite over a loaded module.
+type linter struct {
+	mod      *Module
+	enabled  map[string]bool
+	findings []Finding
+	// suppressions maps file name → line → directive, from scanning
+	// //tdblint:ignore comments.
+	suppressions map[string]map[int]*ignoreDirective
+	// serial caches the locked-io serialization-point decision per
+	// declaration (see isSerialDecl).
+	serial map[*ast.FuncDecl]bool
+	// reach memoizes sink reachability for call-graph walks.
+	reach map[declKey]*sinkHit
+}
+
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+var analyzerNames = []string{
+	"locked-io", "err-taxonomy", "secret-hygiene", "clock-injection", "unlock-path",
+}
+
+// run executes every enabled analyzer and returns the surviving findings
+// sorted by position.
+func (l *linter) run() []Finding {
+	l.suppressions = make(map[string]map[int]*ignoreDirective)
+	l.serial = make(map[*ast.FuncDecl]bool)
+	l.reach = make(map[declKey]*sinkHit)
+	for _, pkg := range l.mod.Pkgs {
+		for _, file := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+			l.scanDirectives(file)
+		}
+	}
+	for _, pkg := range l.mod.Pkgs {
+		if l.enabled["locked-io"] {
+			l.lockedIO(pkg)
+		}
+		if l.enabled["unlock-path"] {
+			l.unlockPath(pkg)
+		}
+		if l.enabled["err-taxonomy"] {
+			l.errTaxonomy(pkg)
+		}
+		if l.enabled["secret-hygiene"] {
+			l.secretHygiene(pkg)
+		}
+		if l.enabled["clock-injection"] {
+			l.clockInjection(pkg)
+		}
+	}
+	l.reportBareIgnores()
+	sort.Slice(l.findings, func(i, j int) bool {
+		a, b := l.findings[i], l.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return l.findings
+}
+
+// scanDirectives records every //tdblint:ignore comment in the file, keyed
+// by the line it suppresses (its own line, which also covers the line
+// below for standalone comments).
+func (l *linter) scanDirectives(file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//tdblint:ignore")
+			if !ok {
+				continue
+			}
+			pos := l.mod.relPos(c.Pos())
+			fields := strings.Fields(text)
+			d := &ignoreDirective{pos: pos}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			byLine := l.suppressions[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int]*ignoreDirective)
+				l.suppressions[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = d
+		}
+	}
+}
+
+// report files a finding unless a well-formed //tdblint:ignore directive
+// for this analyzer sits on the same line or the line above.
+func (l *linter) report(pos token.Pos, analyzer, format string, args ...any) {
+	p := l.mod.relPos(pos)
+	if byLine := l.suppressions[p.Filename]; byLine != nil {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			if d := byLine[line]; d != nil && d.analyzer == analyzer && d.reason != "" {
+				d.used = true
+				return
+			}
+		}
+	}
+	l.findings = append(l.findings, Finding{Pos: p, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// reportBareIgnores flags ignore directives that name no analyzer or give
+// no reason: a suppression without a recorded justification is itself a
+// violation of the discipline the suite enforces.
+func (l *linter) reportBareIgnores() {
+	valid := make(map[string]bool, len(analyzerNames))
+	for _, n := range analyzerNames {
+		valid[n] = true
+	}
+	for _, byLine := range l.suppressions {
+		for _, d := range byLine {
+			switch {
+			case !valid[d.analyzer]:
+				l.findings = append(l.findings, Finding{Pos: d.pos, Analyzer: "bare-ignore",
+					Message: fmt.Sprintf("//tdblint:ignore names unknown analyzer %q", d.analyzer)})
+			case d.reason == "":
+				l.findings = append(l.findings, Finding{Pos: d.pos, Analyzer: "bare-ignore",
+					Message: "//tdblint:ignore without a reason; document why the invariant does not apply here"})
+			}
+		}
+	}
+}
+
+// pathIn reports whether the package path ends with one of the given
+// module-relative suffixes (matching both "tdb/internal/sec" and a fixture
+// module's "fixmod/internal/sec").
+func pathIn(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

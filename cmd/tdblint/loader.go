@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds a fully type-checked view of one Go module using only
+// the standard library: go/parser for syntax, go/types for semantics, and
+// the "source" importer for standard-library dependencies. Module-internal
+// imports are resolved by mapping import paths onto directories under the
+// module root, so the loader needs no GOPATH, no export data, and no
+// golang.org/x/tools dependency.
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	// Path is the full import path ("tdb/internal/chunkstore").
+	Path string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Files holds the parsed non-test sources, type-checked into Types/Info.
+	Files []*ast.File
+	// TestFiles holds parsed _test.go sources (in-package and external).
+	// They are analyzed syntactically only: the analyzers that apply to
+	// tests (sentinel comparisons, suppression hygiene) need no types.
+	TestFiles []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the loaded module: every package, sharing one FileSet.
+type Module struct {
+	Root string
+	Path string
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	std    types.Importer
+	// funcDecls maps every type-checked function/method object in the
+	// module to its declaration, for call-graph walks.
+	funcDecls map[*types.Func]*ast.FuncDecl
+	declPkg   map[*ast.FuncDecl]*Package
+}
+
+// loadModule discovers, parses, and type-checks every package under root
+// (which must contain go.mod). Directories named testdata, vendor, or
+// starting with "." or "_" are skipped.
+func loadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:      root,
+		Path:      modPath,
+		Fset:      token.NewFileSet(),
+		byPath:    make(map[string]*Package),
+		funcDecls: make(map[*types.Func]*ast.FuncDecl),
+		declPkg:   make(map[*ast.FuncDecl]*Package),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+
+	dirs, err := m.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		if _, err := m.load(m.dirImportPath(dir)); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	m.indexFuncDecls()
+	return m, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("tdblint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("tdblint: no module directive in %s", gomod)
+}
+
+// packageDirs returns every directory under the root that contains Go
+// sources, in walk order.
+func (m *Module) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// dirImportPath maps a directory under the root to its import path.
+func (m *Module) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// importPathDir maps a module-internal import path to its directory.
+func (m *Module) importPathDir(path string) string {
+	if path == m.Path {
+		return m.Root
+	}
+	return filepath.Join(m.Root, filepath.FromSlash(strings.TrimPrefix(path, m.Path+"/")))
+}
+
+// Import implements types.Importer: module-internal paths load (and cache)
+// recursively; everything else falls through to the source importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// load parses and type-checks the package at the given module-internal
+// import path, memoized.
+func (m *Module) load(path string) (*Package, error) {
+	if pkg, ok := m.byPath[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("tdblint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	m.byPath[path] = nil // cycle marker
+	dir := m.importPathDir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		file, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, file)
+		} else {
+			pkg.Files = append(pkg.Files, file)
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("tdblint: no non-test Go files in %s", dir)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: m}
+	tpkg, err := cfg.Check(path, m.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("tdblint: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	m.byPath[path] = pkg
+	m.Pkgs = append(m.Pkgs, pkg)
+	return pkg, nil
+}
+
+// indexFuncDecls builds the object→declaration map used by call-graph
+// reachability walks.
+func (m *Module) indexFuncDecls() {
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m.funcDecls[obj] = fd
+					m.declPkg[fd] = pkg
+				}
+			}
+		}
+	}
+}
+
+// relPos renders a position relative to the module root for stable output.
+func (m *Module) relPos(pos token.Pos) token.Position {
+	p := m.Fset.Position(pos)
+	if rel, err := filepath.Rel(m.Root, p.Filename); err == nil {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
+}

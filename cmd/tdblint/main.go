@@ -1,0 +1,102 @@
+// Command tdblint statically enforces TDB's trust invariants across the
+// module: lock-region I/O discipline, the error taxonomy, secret hygiene,
+// clock injection, and unlock-path hygiene. It is built on go/parser,
+// go/ast, and go/types only — no external analysis framework — so the
+// pre-merge gate needs nothing beyond the Go toolchain.
+//
+// Usage:
+//
+//	tdblint [-only list] [-skip list] [-v] [dir|./...]
+//
+// The argument names the module root (default "."); the conventional
+// "./..." spelling is accepted and means the same thing, since tdblint
+// always analyzes the whole module. Exit status is 1 if any finding
+// survives suppression, 2 on load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	verbose := flag.Bool("v", false, "print per-package progress")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tdblint [-only list] [-skip list] [-v] [dir|./...]\n\nanalyzers: %s\n",
+			strings.Join(analyzerNames, ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root := "."
+	if args := flag.Args(); len(args) > 1 {
+		flag.Usage()
+		os.Exit(2)
+	} else if len(args) == 1 && args[0] != "./..." {
+		root = strings.TrimSuffix(args[0], "/...")
+	}
+
+	enabled, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdblint: %v\n", err)
+		os.Exit(2)
+	}
+
+	mod, err := loadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdblint: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, pkg := range mod.Pkgs {
+			fmt.Fprintf(os.Stderr, "tdblint: loaded %s (%d files, %d test files)\n",
+				pkg.Path, len(pkg.Files), len(pkg.TestFiles))
+		}
+	}
+
+	l := &linter{mod: mod, enabled: enabled}
+	findings := l.run()
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tdblint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves -only/-skip into the enabled set.
+func selectAnalyzers(only, skip string) (map[string]bool, error) {
+	valid := make(map[string]bool, len(analyzerNames))
+	for _, n := range analyzerNames {
+		valid[n] = true
+	}
+	enabled := make(map[string]bool, len(analyzerNames))
+	if only != "" {
+		for _, n := range strings.Split(only, ",") {
+			n = strings.TrimSpace(n)
+			if !valid[n] {
+				return nil, fmt.Errorf("unknown analyzer %q", n)
+			}
+			enabled[n] = true
+		}
+	} else {
+		for _, n := range analyzerNames {
+			enabled[n] = true
+		}
+	}
+	if skip != "" {
+		for _, n := range strings.Split(skip, ",") {
+			n = strings.TrimSpace(n)
+			if !valid[n] {
+				return nil, fmt.Errorf("unknown analyzer %q", n)
+			}
+			delete(enabled, n)
+		}
+	}
+	return enabled, nil
+}

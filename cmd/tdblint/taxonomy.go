@@ -1,0 +1,159 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// err-taxonomy enforces the PR-2 failure model (DESIGN.md §5, §6):
+// environmental faults wrap ErrIO/ErrDegraded, integrity failures stay
+// ErrTampered, and callers discriminate with errors.Is — never ==.
+//
+// Two sub-checks:
+//
+//  1. Sentinel comparisons. Anywhere in the module (tests included), a
+//     binary ==/!= against a package-level Err* sentinel is reported;
+//     errors.Is survives wrapped chains, == does not. The Is(error) bool
+//     method of an error type is exempt — it implements the protocol.
+//
+//  2. Error minting. In the storage packages (internal/chunkstore,
+//     internal/backupstore), function bodies must not mint naked errors:
+//     errors.New is reserved for package-level sentinel declarations, and
+//     fmt.Errorf must wrap a sentinel (or an underlying cause) via %w so
+//     every failure stays classifiable with errors.Is.
+
+// mintScope lists package suffixes where the minting discipline applies.
+var mintScope = []string{"internal/chunkstore", "internal/backupstore"}
+
+func isSentinelName(name string) bool {
+	return len(name) > 3 && strings.HasPrefix(name, "Err") &&
+		name[3] >= 'A' && name[3] <= 'Z'
+}
+
+// sentinelOperand reports whether an expression is (syntactically) a
+// package-level error sentinel: an identifier or selector whose name looks
+// like ErrFoo. Syntactic matching keeps the check available in test files,
+// which are not type-checked.
+func sentinelOperand(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if isSentinelName(v.Name) {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isSentinelName(v.Sel.Name) {
+			return exprString(v), true
+		}
+	}
+	return "", false
+}
+
+// exprString renders pkg.ErrFoo for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	default:
+		return "expr"
+	}
+}
+
+// isErrorIsMethod reports whether fd implements the errors.Is protocol:
+// func (T) Is(error) bool. Inside it, == against a sentinel is the point.
+func isErrorIsMethod(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil || fd.Type.Params.NumFields() != 1 {
+		return false
+	}
+	results := fd.Type.Results
+	return results != nil && results.NumFields() == 1
+}
+
+// errTaxonomy runs both sub-checks over one package.
+func (l *linter) errTaxonomy(pkg *Package) {
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil || isErrorIsMethod(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				bin, isBin := n.(*ast.BinaryExpr)
+				if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				for _, operand := range []ast.Expr{bin.X, bin.Y} {
+					if name, ok := sentinelOperand(operand); ok {
+						l.report(bin.Pos(), "err-taxonomy",
+							"sentinel comparison %s %s %s; use errors.Is so wrapped chains still match",
+							exprString(bin.X), bin.Op, name)
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if !pathIn(pkg.Path, mintScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				switch calleePkgFunc(call) {
+				case "errors.New":
+					l.report(call.Pos(), "err-taxonomy",
+						"errors.New inside a function body mints an unclassifiable error; wrap a package sentinel with fmt.Errorf(\"...: %%w\", ErrX) instead")
+				case "fmt.Errorf":
+					if len(call.Args) > 0 && !formatHasWrapVerb(call.Args[0]) {
+						l.report(call.Pos(), "err-taxonomy",
+							"fmt.Errorf without %%w mints an unclassifiable error; wrap a package sentinel or the underlying cause")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleePkgFunc renders a qualified call target like "errors.New" for
+// syntactic matching.
+func calleePkgFunc(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return base.Name + "." + sel.Sel.Name
+}
+
+// formatHasWrapVerb reports whether a fmt.Errorf format argument is a
+// string literal containing %w. Non-literal formats are given the benefit
+// of the doubt.
+func formatHasWrapVerb(arg ast.Expr) bool {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	return strings.Contains(s, "%w")
+}

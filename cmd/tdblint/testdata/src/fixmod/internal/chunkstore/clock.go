@@ -1,0 +1,22 @@
+package chunkstore
+
+import "time"
+
+type policy struct {
+	sleep func(time.Duration)
+}
+
+// waitBare sleeps directly: clock-injection positive.
+func waitBare(d time.Duration) {
+	time.Sleep(d)
+}
+
+// stamp reads the wall clock directly: clock-injection positive.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// waitInjected goes through the seam: negative.
+func (p *policy) waitInjected(d time.Duration) {
+	p.sleep(d)
+}

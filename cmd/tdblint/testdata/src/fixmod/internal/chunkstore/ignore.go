@@ -1,0 +1,23 @@
+package chunkstore
+
+import "fmt"
+
+// suppressed carries a reasoned ignore: the finding disappears and the
+// directive is accepted.
+func suppressed(n int) error {
+	//tdblint:ignore err-taxonomy fixture demonstrates a reasoned suppression
+	return fmt.Errorf("chunkstore: suppressed %d", n)
+}
+
+// bare carries a reasonless ignore: the directive is itself reported and
+// suppresses nothing.
+func bare(n int) error {
+	//tdblint:ignore err-taxonomy
+	return fmt.Errorf("chunkstore: bare %d", n)
+}
+
+// mistyped names an unknown analyzer: the directive is reported.
+func mistyped(n int) error {
+	//tdblint:ignore spellcheck sounds plausible
+	return fmt.Errorf("chunkstore: mistyped %d", n)
+}

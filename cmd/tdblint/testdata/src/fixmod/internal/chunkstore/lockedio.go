@@ -1,0 +1,71 @@
+// Package chunkstore is the main fixture package: its import path suffix
+// (internal/chunkstore) puts it in every analyzer's scope.
+package chunkstore
+
+import (
+	"sync"
+
+	"fixmod/internal/platform"
+	"fixmod/internal/sec"
+)
+
+type store struct {
+	mu    sync.Mutex
+	file  platform.File
+	suite sec.Suite
+}
+
+// flushUnderLock holds mu across platform I/O: locked-io positive (direct).
+func (s *store) flushUnderLock(p []byte) {
+	s.mu.Lock()
+	s.file.WriteAt(p, 0)
+	s.mu.Unlock()
+}
+
+// hashViaHelper reaches crypto transitively: locked-io positive (via digest).
+func (s *store) hashViaHelper(p []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.digest(p)
+}
+
+func (s *store) digest(p []byte) []byte { return s.suite.Hash(p) }
+
+// flushOutsideLock stages under the mutex and does I/O after: negative.
+func (s *store) flushOutsideLock(p []byte) {
+	s.mu.Lock()
+	buf := append([]byte(nil), p...)
+	s.mu.Unlock()
+	s.file.WriteAt(buf, 0)
+}
+
+// checkpoint calls a *Locked serialization point under the lock: negative.
+func (s *store) checkpoint(p []byte) {
+	s.mu.Lock()
+	s.sealLocked(p)
+	s.mu.Unlock()
+}
+
+// sealLocked runs with mu held and performs the final I/O by design.
+func (s *store) sealLocked(p []byte) {
+	s.file.WriteAt(p, 0)
+}
+
+// lookup calls an annotated serialization point under the lock: negative.
+func (s *store) lookup(p []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pageIn(p)
+}
+
+// pageIn is a reviewed serialization point.
+//
+//tdblint:serial fixture: index paging is tiny and memoized
+func (s *store) pageIn(p []byte) []byte { return s.suite.Hash(p) }
+
+// compare calls a whitelisted pure helper under the lock: negative.
+func (s *store) compare(a, b []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sec.HashEqual(a, b)
+}

@@ -1,0 +1,42 @@
+package chunkstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a package-level sentinel; declaring it with errors.New is the
+// one sanctioned use.
+var ErrGone = errors.New("chunkstore: gone")
+
+// classify compares a sentinel with ==: err-taxonomy positive.
+func classify(err error) bool {
+	return err == ErrGone
+}
+
+// classifyIs uses errors.Is: negative.
+func classifyIs(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// mintNaked mints errors.New inside a body: err-taxonomy positive.
+func mintNaked() error {
+	return errors.New("chunkstore: broke")
+}
+
+// mintUnwrapped formats without %w: err-taxonomy positive.
+func mintUnwrapped(n int) error {
+	return fmt.Errorf("chunkstore: broke %d", n)
+}
+
+// mintWrapped wraps the sentinel: negative.
+func mintWrapped(n int) error {
+	return fmt.Errorf("%w: broke %d", ErrGone, n)
+}
+
+// goneErr implements the errors.Is protocol; its == against the sentinel
+// is the point of the method: negative.
+type goneErr struct{}
+
+func (goneErr) Error() string        { return "gone" }
+func (goneErr) Is(target error) bool { return target == ErrGone }

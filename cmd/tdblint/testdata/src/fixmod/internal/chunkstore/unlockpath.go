@@ -1,0 +1,44 @@
+package chunkstore
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpEarlyReturn returns with mu held: unlock-path positive.
+func (t *table) bumpEarlyReturn(limit int) bool {
+	t.mu.Lock()
+	if t.n >= limit {
+		return false
+	}
+	t.n++
+	t.mu.Unlock()
+	return true
+}
+
+// leak never unlocks: unlock-path positive.
+func (t *table) leak() {
+	t.mu.Lock()
+	t.n++
+}
+
+// bumpDeferred is safe on every return path: negative.
+func (t *table) bumpDeferred(limit int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n >= limit {
+		return false
+	}
+	t.n++
+	return true
+}
+
+// handoff unlocks before returning: negative.
+func (t *table) handoff() int {
+	t.mu.Lock()
+	n := t.n
+	t.mu.Unlock()
+	return n
+}

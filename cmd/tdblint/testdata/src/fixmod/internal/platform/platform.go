@@ -1,0 +1,9 @@
+// Package platform is the fixture stand-in for the untrusted-store layer:
+// its import path suffix (internal/platform) makes its methods locked-io
+// sinks.
+package platform
+
+type File struct{}
+
+func (File) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (File) Sync() error                              { return nil }

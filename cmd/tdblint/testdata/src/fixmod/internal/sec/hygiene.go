@@ -1,0 +1,20 @@
+package sec
+
+import "fmt"
+
+// describeKey leaks key material into formatting: secret-hygiene positive.
+func describeKey(macKey []byte) string {
+	return fmt.Sprintf("key=%x", macKey)
+}
+
+// describeKeyLen logs only the length, which is not a secret: negative.
+func describeKeyLen(macKey []byte) string {
+	return fmt.Sprintf("keylen=%d", len(macKey))
+}
+
+// describeField flags secret material reached through a selector: positive.
+type box struct{ ivSeed uint64 }
+
+func describeField(b box) string {
+	return fmt.Sprintf("seed=%d", b.ivSeed)
+}

@@ -1,0 +1,14 @@
+// Package sec is the fixture stand-in for the crypto suite: its import
+// path suffix (internal/sec) makes every call into it a locked-io sink and
+// puts it in secret-hygiene scope.
+package sec
+
+type Suite struct{}
+
+func (Suite) Hash(p []byte) []byte               { return p }
+func (Suite) Encrypt(p []byte, iv uint64) []byte { return p }
+func (Suite) Name() string                       { return "fix" }
+
+// HashEqual is on the locked-io whitelist: a constant-time compare is safe
+// under a lock.
+func HashEqual(a, b []byte) bool { return string(a) == string(b) }

@@ -1,0 +1,15 @@
+// Package workload sits outside the scoped analyzers: only the module-wide
+// checks (math/rand ban, sentinel comparisons) apply here.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Pick uses math/rand in a non-test file: secret-hygiene positive, even
+// outside the crypto packages.
+func Pick(n int) int { return rand.Intn(n) }
+
+// NowUnix uses the wall clock outside clock-injection scope: negative.
+func NowUnix() int64 { return time.Now().Unix() }

@@ -1,0 +1,13 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// math/rand in a _test.go file is allowed.
+func TestPick(t *testing.T) {
+	if rand.Intn(1) != 0 {
+		t.Fatal("impossible")
+	}
+}

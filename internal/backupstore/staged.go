@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"tdb/internal/chunkstore"
 	"tdb/internal/platform"
 	"tdb/internal/sec"
 )
@@ -133,7 +134,7 @@ type stagedStream struct {
 
 func (s *stagedStream) Read(p []byte) (int, error) {
 	if s.writing {
-		return 0, errors.New("backupstore: staged stream opened for writing")
+		return 0, fmt.Errorf("%w: staged stream opened for writing", chunkstore.ErrUsage)
 	}
 	n, err := s.file.ReadAt(p, s.off)
 	s.off += int64(n)
@@ -142,7 +143,7 @@ func (s *stagedStream) Read(p []byte) (int, error) {
 
 func (s *stagedStream) Write(p []byte) (int, error) {
 	if !s.writing {
-		return 0, errors.New("backupstore: staged stream opened for reading")
+		return 0, fmt.Errorf("%w: staged stream opened for reading", chunkstore.ErrUsage)
 	}
 	n, err := s.file.WriteAt(p, s.off)
 	s.off += int64(n)

@@ -98,23 +98,23 @@ func (a *allocator) serialize() []byte {
 // deserializeAllocator decodes a checkpoint's allocator state.
 func deserializeAllocator(data []byte) (*allocator, int, error) {
 	if len(data) < 12 {
-		return nil, 0, fmt.Errorf("chunkstore: short allocator state")
+		return nil, 0, fmt.Errorf("%w: short allocator state", ErrTampered)
 	}
 	a := newAllocator()
 	a.nextID = binary.BigEndian.Uint64(data[0:8])
 	if a.nextID == 0 {
-		return nil, 0, fmt.Errorf("chunkstore: invalid allocator nextID 0")
+		return nil, 0, fmt.Errorf("%w: invalid allocator nextID 0", ErrTampered)
 	}
 	n := int(binary.BigEndian.Uint32(data[8:12]))
 	pos := 12
 	if len(data) < pos+8*n {
-		return nil, 0, fmt.Errorf("chunkstore: truncated allocator free list")
+		return nil, 0, fmt.Errorf("%w: truncated allocator free list", ErrTampered)
 	}
 	for i := 0; i < n; i++ {
 		cid := ChunkID(binary.BigEndian.Uint64(data[pos : pos+8]))
 		pos += 8
 		if cid == 0 || uint64(cid) >= a.nextID {
-			return nil, 0, fmt.Errorf("chunkstore: free list id %d out of range", cid)
+			return nil, 0, fmt.Errorf("%w: free list id %d out of range", ErrTampered, cid)
 		}
 		a.freeSet[cid] = struct{}{}
 		a.freeList = append(a.freeList, cid)

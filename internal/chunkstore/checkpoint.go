@@ -243,7 +243,7 @@ func encodeCkptPayload(p ckptPayload) []byte {
 func decodeCkptPayload(data []byte) (ckptPayload, error) {
 	var p ckptPayload
 	if len(data) < 26 {
-		return p, fmt.Errorf("chunkstore: short checkpoint payload")
+		return p, fmt.Errorf("%w: short checkpoint payload", ErrTampered)
 	}
 	p.seqNext = binary.BigEndian.Uint64(data[0:8])
 	p.height = int(data[8])
@@ -253,7 +253,7 @@ func decodeCkptPayload(data []byte) (ckptPayload, error) {
 	hashLen := int(data[25])
 	pos := 26
 	if len(data) < pos+hashLen {
-		return p, fmt.Errorf("chunkstore: truncated checkpoint root hash")
+		return p, fmt.Errorf("%w: truncated checkpoint root hash", ErrTampered)
 	}
 	p.rootHash = append([]byte(nil), data[pos:pos+hashLen]...)
 	pos += hashLen
@@ -264,25 +264,25 @@ func decodeCkptPayload(data []byte) (ckptPayload, error) {
 	p.alloc = alloc
 	pos += n
 	if len(data) < pos+4 {
-		return p, fmt.Errorf("chunkstore: truncated checkpoint segment table")
+		return p, fmt.Errorf("%w: truncated checkpoint segment table", ErrTampered)
 	}
 	count := int(binary.BigEndian.Uint32(data[pos : pos+4]))
 	pos += 4
 	if len(data) < pos+16*count {
-		return p, fmt.Errorf("chunkstore: truncated checkpoint segment table entries")
+		return p, fmt.Errorf("%w: truncated checkpoint segment table entries", ErrTampered)
 	}
 	p.segLive = make(map[uint64]int64, count)
 	for i := 0; i < count; i++ {
 		num := binary.BigEndian.Uint64(data[pos : pos+8])
 		live := int64(binary.BigEndian.Uint64(data[pos+8 : pos+16]))
 		if live < 0 {
-			return p, fmt.Errorf("chunkstore: negative live bytes for segment %d", num)
+			return p, fmt.Errorf("%w: negative live bytes for segment %d", ErrTampered, num)
 		}
 		p.segLive[num] = live
 		pos += 16
 	}
 	if pos != len(data) {
-		return p, fmt.Errorf("chunkstore: %d trailing bytes in checkpoint payload", len(data)-pos)
+		return p, fmt.Errorf("%w: %d trailing bytes in checkpoint payload", ErrTampered, len(data)-pos)
 	}
 	return p, nil
 }
@@ -298,7 +298,7 @@ func (s *Store) checkpointLocked() error {
 	// poised to be truncated away by the next commit's rewind, and leaving
 	// the orphans ahead of a durable commit record where crash recovery would
 	// replay them.
-	if err := s.completePendingRewind(); err != nil {
+	if err := s.completePendingRewindLocked(); err != nil {
 		return err
 	}
 	dirty := s.lm.dirtyNodes() // post-order: children before parents

@@ -78,6 +78,11 @@ var (
 	// from a backup chain. The error also matches ErrTampered, since
 	// per-chunk corruption is an integrity failure.
 	ErrDegraded = errors.New("chunkstore: chunk degraded")
+	// ErrUsage marks caller mistakes — invalid configuration, misuse of the
+	// API (releasing a written chunk, restoring over chunk id 0), or opening
+	// a store with the wrong crypto suite. Usage errors are deterministic:
+	// retrying cannot help, and nothing on disk is suspect.
+	ErrUsage = errors.New("chunkstore: invalid use")
 	// ErrMaintenance wraps failures of post-commit maintenance (automatic
 	// checkpointing or cleaning). When Commit returns an error matching
 	// ErrMaintenance the commit itself HAS been applied — durably, for a

@@ -60,7 +60,7 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 	// Like every append-capable operation, cleaning must first discard the
 	// orphaned tail of a failed commit; relocated records appended after it
 	// would be truncated away by the next commit's rewind.
-	if err := s.completePendingRewind(); err != nil {
+	if err := s.completePendingRewindLocked(); err != nil {
 		return err
 	}
 	var victims []uint64
@@ -108,7 +108,7 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 			continue
 		}
 		if seg.live != 0 {
-			return fmt.Errorf("chunkstore: victim segment %d still has %d live bytes", num, seg.live)
+			return fmt.Errorf("%w: victim segment %d still has %d live bytes", ErrTampered, num, seg.live)
 		}
 		if err := s.segs.free(num); err != nil {
 			return err
@@ -292,7 +292,7 @@ func (s *Store) cachedNodeAt(level int, index uint64) (*mapNode, error) {
 		n = kid
 	}
 	if n.level != level || n.index != index {
-		return nil, fmt.Errorf("chunkstore: node lookup for (%d,%d) reached (%d,%d)", level, index, n.level, n.index)
+		return nil, fmt.Errorf("%w: node lookup for (%d,%d) reached (%d,%d)", ErrTampered, level, index, n.level, n.index)
 	}
 	return n, nil
 }

@@ -17,7 +17,7 @@ import (
 // concurrent committers use every core while only the short stage 2
 // serializes.
 //
-// Stage 2 (commitPrepared) runs under the store mutex and is built to be
+// Stage 2 (commitPreparedLocked) runs under the store mutex and is built to be
 // atomic in memory:
 //
 //  1. append phase — every record of the batch is appended to the log,
@@ -123,11 +123,11 @@ func prepareBatch(suite sec.Suite, ops []batchOp, gen uint64, workers int) ([]pr
 	return prep, nil
 }
 
-// completePendingRewind physically discards the log tail left by a failed
+// completePendingRewindLocked physically discards the log tail left by a failed
 // commit. It runs at the start of every append-capable operation; until it
 // succeeds, no new records may be appended (they would land after orphaned
 // records that crash recovery must be able to truncate away).
-func (s *Store) completePendingRewind() error {
+func (s *Store) completePendingRewindLocked() error {
 	if s.pendingRewind == nil {
 		return nil
 	}
@@ -151,10 +151,10 @@ type stagedOp struct {
 	appended bool
 }
 
-// commitPrepared is stage 2 of Commit: validate, append, merge, seal.
+// commitPreparedLocked is stage 2 of Commit: validate, append, merge, seal.
 // Caller holds s.mu; prep is the stage-1 output aligned with b.ops.
-func (s *Store) commitPrepared(b *Batch, prep []preparedOp, durable bool) error {
-	if err := s.completePendingRewind(); err != nil {
+func (s *Store) commitPreparedLocked(b *Batch, prep []preparedOp, durable bool) error {
+	if err := s.completePendingRewindLocked(); err != nil {
 		return err
 	}
 	// Validate before touching the log (against pre-batch allocator state,
@@ -167,7 +167,7 @@ func (s *Store) commitPrepared(b *Batch, prep []preparedOp, durable bool) error 
 			}
 		case opRestore:
 			if op.cid == 0 {
-				return fmt.Errorf("chunkstore: restore of chunk id 0")
+				return fmt.Errorf("%w: restore of chunk id 0", ErrUsage)
 			}
 		}
 	}

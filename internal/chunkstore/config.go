@@ -66,31 +66,31 @@ type Config struct {
 
 func (c *Config) fillDefaults() error {
 	if c.Store == nil {
-		return fmt.Errorf("chunkstore: config requires a Store")
+		return fmt.Errorf("%w: config requires a Store", ErrUsage)
 	}
 	if c.Suite == nil {
-		return fmt.Errorf("chunkstore: config requires a Suite")
+		return fmt.Errorf("%w: config requires a Suite", ErrUsage)
 	}
 	if c.UseCounter && c.Counter == nil {
-		return fmt.Errorf("chunkstore: UseCounter requires a Counter")
+		return fmt.Errorf("%w: UseCounter requires a Counter", ErrUsage)
 	}
 	if c.SegmentSize == 0 {
 		c.SegmentSize = 256 << 10
 	}
 	if c.SegmentSize < 4<<10 {
-		return fmt.Errorf("chunkstore: segment size %d too small", c.SegmentSize)
+		return fmt.Errorf("%w: segment size %d too small", ErrUsage, c.SegmentSize)
 	}
 	if c.Fanout == 0 {
 		c.Fanout = 64
 	}
 	if c.Fanout < 2 || c.Fanout > 4096 {
-		return fmt.Errorf("chunkstore: fanout %d out of range [2,4096]", c.Fanout)
+		return fmt.Errorf("%w: fanout %d out of range [2,4096]", ErrUsage, c.Fanout)
 	}
 	if c.MaxUtilization == 0 {
 		c.MaxUtilization = 0.60
 	}
 	if c.MaxUtilization < 0.05 || c.MaxUtilization > 0.97 {
-		return fmt.Errorf("chunkstore: max utilization %.2f out of range [0.05,0.97]", c.MaxUtilization)
+		return fmt.Errorf("%w: max utilization %.2f out of range [0.05,0.97]", ErrUsage, c.MaxUtilization)
 	}
 	if c.CheckpointBytes == 0 {
 		c.CheckpointBytes = 4 << 20
@@ -105,7 +105,7 @@ func (c *Config) fillDefaults() error {
 		c.ReadCacheBytes = 4 << 20
 	}
 	if c.CommitWorkers < 0 {
-		return fmt.Errorf("chunkstore: commit workers %d negative", c.CommitWorkers)
+		return fmt.Errorf("%w: commit workers %d negative", ErrUsage, c.CommitWorkers)
 	}
 	c.Retry.fillDefaults()
 	return nil

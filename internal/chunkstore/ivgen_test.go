@@ -2,6 +2,7 @@ package chunkstore
 
 import (
 	"bytes"
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -143,7 +144,7 @@ func TestCommitClosedStoreSkipsCrypto(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		b.Write(cid, bytes.Repeat([]byte("x"), 512))
 	}
-	if err := s.Commit(b, true); err != ErrClosed {
+	if err := s.Commit(b, true); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Commit on closed store: %v, want ErrClosed", err)
 	}
 	if got := cs.encrypts.Load(); got != before {

@@ -117,6 +117,8 @@ func (m *locMap) grow(cid ChunkID) {
 
 // nodeHash returns the node's memoized content hash, recomputing it (and,
 // for inner nodes, its dirty descendants' hashes) as needed.
+//
+//tdblint:serial locMap hashing runs under the store mutex by design; node hashes are small and memoized, unlike bulk payload crypto
 func (m *locMap) nodeHash(n *mapNode) []byte {
 	if !n.hashStale && n.hash != nil {
 		return n.hash
@@ -143,6 +145,8 @@ func (m *locMap) rootHash() []byte { return m.nodeHash(m.root) }
 // loadChild loads the child node at slot i of parent from the log,
 // verifying its content hash against the parent entry. The caller must have
 // checked that the entry is non-empty.
+//
+//tdblint:serial locMap paging faults map nodes in under the store mutex by design; the map is a shared index, not bulk chunk I/O
 func (m *locMap) loadChild(parent *mapNode, i int) (*mapNode, error) {
 	e := parent.entries[i]
 	if e.loc.IsZero() {

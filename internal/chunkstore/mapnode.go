@@ -120,7 +120,7 @@ func (n *mapNode) serialize() []byte {
 // deserializeMapNode reconstructs a node from its serialization.
 func deserializeMapNode(data []byte, fanout int) (*mapNode, error) {
 	if len(data) < 11 {
-		return nil, fmt.Errorf("chunkstore: short map node serialization (%d bytes)", len(data))
+		return nil, fmt.Errorf("%w: short map node serialization (%d bytes)", ErrTampered, len(data))
 	}
 	level := int(data[0])
 	index := binary.BigEndian.Uint64(data[1:9])
@@ -131,11 +131,11 @@ func deserializeMapNode(data []byte, fanout int) (*mapNode, error) {
 	pos := 11
 	for i := 0; i < count; i++ {
 		if pos+19 > len(data) {
-			return nil, fmt.Errorf("chunkstore: truncated map node entry %d", i)
+			return nil, fmt.Errorf("%w: truncated map node entry %d", ErrTampered, i)
 		}
 		idx := int(binary.BigEndian.Uint16(data[pos : pos+2]))
 		if idx >= fanout {
-			return nil, fmt.Errorf("chunkstore: map node entry index %d exceeds fanout %d", idx, fanout)
+			return nil, fmt.Errorf("%w: map node entry index %d exceeds fanout %d", ErrTampered, idx, fanout)
 		}
 		var e entry
 		e.loc.Seg = binary.BigEndian.Uint64(data[pos+2 : pos+10])
@@ -144,14 +144,14 @@ func deserializeMapNode(data []byte, fanout int) (*mapNode, error) {
 		hashLen := int(data[pos+18])
 		pos += 19
 		if pos+hashLen > len(data) {
-			return nil, fmt.Errorf("chunkstore: truncated map node entry hash %d", i)
+			return nil, fmt.Errorf("%w: truncated map node entry hash %d", ErrTampered, i)
 		}
 		e.hash = append([]byte(nil), data[pos:pos+hashLen]...)
 		pos += hashLen
 		n.entries[idx] = e
 	}
 	if pos != len(data) {
-		return nil, fmt.Errorf("chunkstore: %d trailing bytes in map node serialization", len(data)-pos)
+		return nil, fmt.Errorf("%w: %d trailing bytes in map node serialization", ErrTampered, len(data)-pos)
 	}
 	return n, nil
 }

@@ -47,7 +47,7 @@ func encodeRecord(typ byte, body []byte) []byte {
 // decodeRecordHeader parses a record header, returning (type, bodyLen).
 func decodeRecordHeader(hdr []byte) (byte, uint32, error) {
 	if len(hdr) < recordHeaderSize {
-		return 0, 0, fmt.Errorf("chunkstore: short record header (%d bytes)", len(hdr))
+		return 0, 0, fmt.Errorf("%w: short record header (%d bytes)", ErrTampered, len(hdr))
 	}
 	return hdr[0], binary.BigEndian.Uint32(hdr[1:5]), nil
 }
@@ -75,7 +75,7 @@ func writeRecordBody(cid ChunkID, ciphertext []byte) []byte {
 // parseWriteRecord splits a write-record body.
 func parseWriteRecord(body []byte) (ChunkID, []byte, error) {
 	if len(body) < 8 {
-		return 0, nil, fmt.Errorf("chunkstore: short write record body (%d bytes)", len(body))
+		return 0, nil, fmt.Errorf("%w: short write record body (%d bytes)", ErrTampered, len(body))
 	}
 	return ChunkID(binary.BigEndian.Uint64(body[:8])), body[8:], nil
 }
@@ -90,7 +90,7 @@ func deallocRecordBody(cid ChunkID) []byte {
 // parseDeallocRecord splits a deallocate-record body.
 func parseDeallocRecord(body []byte) (ChunkID, error) {
 	if len(body) != 8 {
-		return 0, fmt.Errorf("chunkstore: bad dealloc record body (%d bytes)", len(body))
+		return 0, fmt.Errorf("%w: bad dealloc record body (%d bytes)", ErrTampered, len(body))
 	}
 	return ChunkID(binary.BigEndian.Uint64(body)), nil
 }
@@ -107,7 +107,7 @@ func mapNodeRecordBody(level int, index uint64, ciphertext []byte) []byte {
 // parseMapNodeRecord splits a map-node record body.
 func parseMapNodeRecord(body []byte) (level int, index uint64, ciphertext []byte, err error) {
 	if len(body) < 9 {
-		return 0, 0, nil, fmt.Errorf("chunkstore: short map node record body (%d bytes)", len(body))
+		return 0, 0, nil, fmt.Errorf("%w: short map node record body (%d bytes)", ErrTampered, len(body))
 	}
 	return int(body[0]), binary.BigEndian.Uint64(body[1:9]), body[9:], nil
 }
@@ -124,11 +124,11 @@ func checkpointRecordBody(mac, ciphertext []byte) []byte {
 // parseCheckpointRecord splits a checkpoint-record body.
 func parseCheckpointRecord(body []byte) (mac, ciphertext []byte, err error) {
 	if len(body) < 2 {
-		return nil, nil, fmt.Errorf("chunkstore: short checkpoint record body")
+		return nil, nil, fmt.Errorf("%w: short checkpoint record body", ErrTampered)
 	}
 	n := int(binary.BigEndian.Uint16(body[:2]))
 	if len(body) < 2+n {
-		return nil, nil, fmt.Errorf("chunkstore: truncated checkpoint record MAC")
+		return nil, nil, fmt.Errorf("%w: truncated checkpoint record MAC", ErrTampered)
 	}
 	return body[2 : 2+n], body[2+n:], nil
 }
@@ -170,20 +170,20 @@ func commitRecordBody(signed, mac []byte) []byte {
 func parseCommitRecord(body []byte) (commitRecord, []byte, error) {
 	var cr commitRecord
 	if len(body) < 19 {
-		return cr, nil, fmt.Errorf("chunkstore: short commit record body (%d bytes)", len(body))
+		return cr, nil, fmt.Errorf("%w: short commit record body (%d bytes)", ErrTampered, len(body))
 	}
 	cr.seq = binary.BigEndian.Uint64(body[0:8])
 	cr.durable = body[8]&commitDurable != 0
 	cr.counter = binary.BigEndian.Uint64(body[9:17])
 	hashLen := int(binary.BigEndian.Uint16(body[17:19]))
 	if len(body) < 19+hashLen+2 {
-		return cr, nil, fmt.Errorf("chunkstore: truncated commit record root hash")
+		return cr, nil, fmt.Errorf("%w: truncated commit record root hash", ErrTampered)
 	}
 	cr.rootHash = body[19 : 19+hashLen]
 	macOff := 19 + hashLen
 	macLen := int(binary.BigEndian.Uint16(body[macOff : macOff+2]))
 	if len(body) < macOff+2+macLen {
-		return cr, nil, fmt.Errorf("chunkstore: truncated commit record MAC")
+		return cr, nil, fmt.Errorf("%w: truncated commit record MAC", ErrTampered)
 	}
 	cr.mac = body[macOff+2 : macOff+2+macLen]
 	return cr, body[:macOff], nil

@@ -17,7 +17,7 @@ import (
 // counter (replay detection).
 func (s *Store) recover(sb superblock) error {
 	if sb.suiteName != s.suite.Name() {
-		return fmt.Errorf("chunkstore: database uses suite %q, store opened with %q", sb.suiteName, s.suite.Name())
+		return fmt.Errorf("%w: database uses suite %q, store opened with %q", ErrUsage, sb.suiteName, s.suite.Name())
 	}
 	s.cfg.Fanout = sb.fanout
 	s.cfg.SegmentSize = sb.segmentSize

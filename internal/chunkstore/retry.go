@@ -87,6 +87,7 @@ func (p *RetryPolicy) fillDefaults() {
 		p.MaxBackoff = 50 * time.Millisecond
 	}
 	if p.Sleep == nil {
+		//tdblint:ignore clock-injection this default IS the injection seam; tests override Sleep before use
 		p.Sleep = time.Sleep
 	}
 }

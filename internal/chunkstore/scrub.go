@@ -72,7 +72,7 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 		return nil, ErrClosed
 	}
 	report := &ScrubReport{}
-	if err := s.scrubWalk(s.lm.root, report); err != nil {
+	if err := s.scrubWalkLocked(s.lm.root, report); err != nil {
 		return nil, err
 	}
 	sort.Slice(report.Bad, func(i, j int) bool { return report.Bad[i].ID < report.Bad[j].ID })
@@ -89,11 +89,11 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 	return report, nil
 }
 
-// scrubWalk is forEachEntry's damage-tolerant sibling: an unloadable child
+// scrubWalkLocked is forEachEntry's damage-tolerant sibling: an unloadable child
 // subtree is recorded in the report (and skipped) instead of aborting the
 // walk, and each leaf entry's chunk is verified in place. Only environmental
 // I/O errors abort.
-func (s *Store) scrubWalk(n *mapNode, report *ScrubReport) error {
+func (s *Store) scrubWalkLocked(n *mapNode, report *ScrubReport) error {
 	m := s.lm
 	if n.level == 0 {
 		base := n.index * uint64(m.fanout)
@@ -102,7 +102,7 @@ func (s *Store) scrubWalk(n *mapNode, report *ScrubReport) error {
 				continue
 			}
 			cid := ChunkID(base + uint64(i))
-			reason, err := s.verifyChunkAt(cid, e)
+			reason, err := s.verifyChunkAtLocked(cid, e)
 			if err != nil {
 				return err
 			}
@@ -136,17 +136,17 @@ func (s *Store) scrubWalk(n *mapNode, report *ScrubReport) error {
 				continue
 			}
 		}
-		if err := s.scrubWalk(kid, report); err != nil {
+		if err := s.scrubWalkLocked(kid, report); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// verifyChunkAt checks the stored record at e against the Merkle tree
+// verifyChunkAtLocked checks the stored record at e against the Merkle tree
 // without decrypting. A non-empty reason means the chunk is damaged; a
 // non-nil error is environmental and aborts the scrub.
-func (s *Store) verifyChunkAt(cid ChunkID, e entry) (string, error) {
+func (s *Store) verifyChunkAtLocked(cid ChunkID, e entry) (string, error) {
 	typ, body, err := s.segs.readRecord(e.loc)
 	if err != nil {
 		if errors.Is(err, ErrIO) {

@@ -201,10 +201,10 @@ func (ss *segmentSet) get(num uint64) (*segment, error) {
 func (ss *segmentSet) free(num uint64) error {
 	seg, ok := ss.segs[num]
 	if !ok {
-		return fmt.Errorf("chunkstore: freeing unknown segment %d", num)
+		return fmt.Errorf("%w: freeing unknown segment %d", ErrTampered, num)
 	}
 	if seg == ss.tail {
-		return fmt.Errorf("chunkstore: cannot free tail segment %d", num)
+		return fmt.Errorf("%w: cannot free tail segment %d", ErrTampered, num)
 	}
 	if err := seg.file.Close(); err != nil {
 		return err
@@ -276,7 +276,7 @@ func (ss *segmentSet) mark() tailMark {
 func (ss *segmentSet) rewind(m tailMark) error {
 	target, ok := ss.segs[m.seg]
 	if !ok {
-		return fmt.Errorf("chunkstore: rewind target segment %d missing", m.seg)
+		return fmt.Errorf("%w: rewind target segment %d missing", ErrTampered, m.seg)
 	}
 	ss.tail = target
 	for _, num := range ss.numbers() {
@@ -367,6 +367,8 @@ func (ss *segmentSet) syncDirty() error {
 }
 
 // closeAll closes every file handle.
+//
+//tdblint:serial Close tears down handles under the store mutex so no commit can race the shutdown
 func (ss *segmentSet) closeAll() error {
 	var first error
 	for _, seg := range ss.segs {

@@ -77,7 +77,7 @@ func (sn *Snapshot) ForEach(fn func(cid ChunkID, hash []byte, ciphertext []byte)
 		return ErrSnapshotClosed
 	}
 	return sn.cs.lm.forEachEntry(sn.root, func(cid ChunkID, e entry) error {
-		ct, err := sn.cs.readCipherAt(cid, e)
+		ct, err := sn.cs.readCipherAtLocked(cid, e)
 		if err != nil {
 			return err
 		}
@@ -85,9 +85,9 @@ func (sn *Snapshot) ForEach(fn func(cid ChunkID, hash []byte, ciphertext []byte)
 	})
 }
 
-// readCipherAt fetches and validates the stored ciphertext of a chunk
+// readCipherAtLocked fetches and validates the stored ciphertext of a chunk
 // version without decrypting it.
-func (s *Store) readCipherAt(cid ChunkID, e entry) ([]byte, error) {
+func (s *Store) readCipherAtLocked(cid ChunkID, e entry) ([]byte, error) {
 	typ, body, err := s.segs.readRecord(e.loc)
 	if err != nil {
 		return nil, err
@@ -133,10 +133,10 @@ func (sn *Snapshot) Diff(base *Snapshot, fn func(DiffChange) error) error {
 		return ErrSnapshotClosed
 	}
 	if base.cs != sn.cs {
-		return fmt.Errorf("chunkstore: diffing snapshots from different stores")
+		return fmt.Errorf("%w: diffing snapshots from different stores", ErrUsage)
 	}
 	if base.seq > sn.seq {
-		return fmt.Errorf("chunkstore: diff base snapshot (seq %d) is newer than target (seq %d)", base.seq, sn.seq)
+		return fmt.Errorf("%w: diff base snapshot (seq %d) is newer than target (seq %d)", ErrUsage, base.seq, sn.seq)
 	}
 	d := differ{cs: sn.cs, fn: fn}
 	return d.diffNodes(sn.cs.lm, base.root, sn.root)
@@ -219,7 +219,7 @@ func (d *differ) diffNodes(m *locMap, baseN, curN *mapNode) error {
 					return err
 				}
 			case be.isEmpty() || !sec.HashEqual(be.hash, ce.hash):
-				ct, err := d.cs.readCipherAt(cid, ce)
+				ct, err := d.cs.readCipherAtLocked(cid, ce)
 				if err != nil {
 					return err
 				}
@@ -273,7 +273,7 @@ func (d *differ) loadKid(m *locMap, n *mapNode, i int) (*mapNode, error) {
 // emitAll reports every chunk under n as added/changed.
 func (d *differ) emitAll(m *locMap, n *mapNode) error {
 	return m.forEachEntry(n, func(cid ChunkID, e entry) error {
-		ct, err := d.cs.readCipherAt(cid, e)
+		ct, err := d.cs.readCipherAtLocked(cid, e)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package chunkstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -283,10 +284,10 @@ func TestSnapshotOpsAfterClose(t *testing.T) {
 	snap, _ := s.TakeSnapshot()
 	snap2, _ := s.TakeSnapshot()
 	snap.Close()
-	if err := snap.ForEach(func(ChunkID, []byte, []byte) error { return nil }); err != ErrSnapshotClosed {
+	if err := snap.ForEach(func(ChunkID, []byte, []byte) error { return nil }); !errors.Is(err, ErrSnapshotClosed) {
 		t.Fatalf("ForEach after close: %v", err)
 	}
-	if err := snap2.Diff(snap, func(DiffChange) error { return nil }); err != ErrSnapshotClosed {
+	if err := snap2.Diff(snap, func(DiffChange) error { return nil }); !errors.Is(err, ErrSnapshotClosed) {
 		t.Fatalf("Diff with closed base: %v", err)
 	}
 	snap.Close() // double close is a no-op

@@ -42,7 +42,7 @@ type Store struct {
 	ivGenLimit atomic.Uint64
 	// pendingRewind, when non-nil, marks orphaned log records appended by a
 	// failed commit. The next append-capable operation must truncate them
-	// away before writing (completePendingRewind); otherwise a later
+	// away before writing (completePendingRewindLocked); otherwise a later
 	// successful commit would let crash recovery replay the orphans.
 	pendingRewind *tailMark
 
@@ -225,7 +225,7 @@ func (s *Store) Close() error {
 	// Discard any orphaned tail from a failed commit so it cannot be
 	// mistaken for log content by offline tools; recovery would discard it
 	// anyway (it follows the last durable commit record).
-	err := s.completePendingRewind()
+	err := s.completePendingRewindLocked()
 	if s.residualBytes > 0 {
 		if cerr := s.checkpointLocked(); cerr != nil && err == nil {
 			err = cerr
@@ -282,7 +282,7 @@ func (s *Store) Release(cid ChunkID) error {
 		return err
 	}
 	if !e.isEmpty() {
-		return fmt.Errorf("chunkstore: Release of written chunk %d (use Deallocate)", cid)
+		return fmt.Errorf("%w: Release of written chunk %d (use Deallocate)", ErrUsage, cid)
 	}
 	s.alloc.release(cid)
 	return nil
@@ -320,7 +320,7 @@ func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
 	if reason, ok := s.quarantine[cid]; ok {
 		return nil, degradedReadErr(cid, fmt.Errorf("quarantined: %s (%w)", reason, ErrTampered))
 	}
-	plain, err := s.readChunkAt(cid, e)
+	plain, err := s.readChunkAtLocked(cid, e)
 	if err != nil {
 		// Damage confined to this chunk's stored bytes degrades the chunk
 		// (and quarantines it) rather than failing like whole-store
@@ -335,8 +335,8 @@ func (s *Store) readLocked(cid ChunkID) ([]byte, error) {
 	return plain, nil
 }
 
-// readChunkAt fetches, validates, and decrypts the chunk version at e.
-func (s *Store) readChunkAt(cid ChunkID, e entry) ([]byte, error) {
+// readChunkAtLocked fetches, validates, and decrypts the chunk version at e.
+func (s *Store) readChunkAtLocked(cid ChunkID, e entry) ([]byte, error) {
 	typ, body, err := s.segs.readRecord(e.loc)
 	if err != nil {
 		return nil, err
@@ -445,7 +445,7 @@ func (s *Store) Commit(b *Batch, durable bool) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if err := s.commitPrepared(b, prep, durable); err != nil {
+	if err := s.commitPreparedLocked(b, prep, durable); err != nil {
 		return err
 	}
 	if err := s.maybeMaintain(); err != nil {
@@ -577,7 +577,7 @@ func (s *Store) Verify() error {
 	}
 	count := int64(0)
 	err := s.lm.forEachEntry(s.lm.root, func(cid ChunkID, e entry) error {
-		if _, err := s.readChunkAt(cid, e); err != nil {
+		if _, err := s.readChunkAtLocked(cid, e); err != nil {
 			return err
 		}
 		count++

@@ -2,6 +2,7 @@ package collection
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"tdb/internal/objectstore"
@@ -308,16 +309,5 @@ func (it *Iterator) Close() error {
 
 // isDuplicateKey unwraps ErrDuplicateKey.
 func isDuplicateKey(err error) bool {
-	for e := err; e != nil; {
-		if e == ErrDuplicateKey {
-			return true
-		}
-		type unwrapper interface{ Unwrap() error }
-		u, ok := e.(unwrapper)
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
+	return errors.Is(err, ErrDuplicateKey)
 }

@@ -116,6 +116,7 @@ func (lt *lockTable) acquire(mu *sync.Mutex, t *Txn, oid ObjectID, mode lockMode
 		case <-w:
 			timer.Stop()
 		case <-timer.C:
+			//tdblint:ignore unlock-path acquire's contract returns the caller-owned state mutex locked; the Unlock pairing lives in the caller
 			mu.Lock()
 			// Deregister so the abandoned waiter does not pin the lock
 			// entry. The entry (or even a successor under the same id) may
@@ -132,6 +133,7 @@ func (lt *lockTable) acquire(mu *sync.Mutex, t *Txn, oid ObjectID, mode lockMode
 			}
 			return ErrLockTimeout
 		}
+		//tdblint:ignore unlock-path re-acquires the caller-owned state mutex after a wakeup; the loop re-checks grantability and the caller owns the Unlock
 		mu.Lock()
 	}
 }

@@ -8,6 +8,8 @@ package tpcb
 
 import (
 	"fmt"
+
+	//tdblint:ignore secret-hygiene deterministic benchmark workload generation; no secret material in this package
 	"math/rand"
 
 	"tdb/internal/objectstore"
