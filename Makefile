@@ -3,7 +3,7 @@ GO ?= go
 # iterating: make check LINTFLAGS='-skip locked-io'.
 LINTFLAGS ?=
 
-.PHONY: build test check faults lint bench
+.PHONY: build test check faults lint bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,19 @@ faults:
 		./internal/objectstore/ .
 
 # check is the pre-merge gate: the fault-injection suite, vet, the trust-
-# invariant analyzers, and the full suite under the race detector (the chunk
-# store's commit pipeline and read cache are concurrent).
+# invariant analyzers, the full suite under the race detector (the chunk
+# store's commit pipeline and read cache are concurrent), and a one-shot
+# pass over every benchmark so the perf harness can't silently rot.
 check: faults
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test -race ./...
+	$(MAKE) bench-smoke
 
 bench:
 	$(GO) test ./internal/chunkstore/ -run XXX -bench 'BenchmarkCommitParallelCrypto|BenchmarkConcurrentRead' -benchtime 1s
+
+# bench-smoke runs every benchmark exactly once — not for numbers, only to
+# keep the benchmarks compiling and passing their own assertions.
+bench-smoke:
+	$(GO) test ./... -run XXX -bench . -benchtime 1x

@@ -4,7 +4,11 @@
 //	tdbbench -exp fig10         response time: BerkeleyDB vs TDB vs TDB-S
 //	tdbbench -exp fig11         TDB response time & db size vs utilization
 //	tdbbench -exp crypto        ablation: 3DES/SHA-1 vs AES/SHA-256 suites
+//	tdbbench -exp objstore      object-store durable commit throughput/latency
 //	tdbbench -exp all           everything above
+//
+// With -json, the objstore experiment also writes BENCH_objstore.json so
+// successive PRs can track commit-path performance machine-readably.
 //
 // The storage substrate is a simulated disk with the paper's mechanical
 // parameters (8.9/10.9 ms seek, 7200 rpm, §7.2): reported response times
@@ -23,10 +27,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig9, fig10, fig11, crypto, all")
-		txns  = flag.Int("txns", 20000, "total transactions per run (half measured)")
-		scale = flag.String("scale", "small", "database scale: small (10k accounts) or paper (100k accounts)")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		exp     = flag.String("exp", "all", "experiment: fig9, fig10, fig11, crypto, objstore, all")
+		txns    = flag.Int("txns", 20000, "total transactions per run (half measured)")
+		scale   = flag.String("scale", "small", "database scale: small (10k accounts) or paper (100k accounts)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 8, "concurrent committers for the objstore experiment")
+		jsonOut = flag.Bool("json", false, "write objstore results to BENCH_objstore.json")
 	)
 	flag.Parse()
 
@@ -46,11 +52,15 @@ func main() {
 		err = runFig11(cfg)
 	case "crypto":
 		err = runCrypto(cfg)
+	case "objstore":
+		err = runObjstore(*workers, *txns, *jsonOut)
 	case "all":
 		if err = runFig9(cfg); err == nil {
 			if err = runFig10(cfg); err == nil {
 				if err = runFig11(cfg); err == nil {
-					err = runCrypto(cfg)
+					if err = runCrypto(cfg); err == nil {
+						err = runObjstore(*workers, *txns, *jsonOut)
+					}
 				}
 			}
 		}

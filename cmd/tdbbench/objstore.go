@@ -1,0 +1,251 @@
+// The objstore experiment measures object-store commit performance — the
+// workload the group-commit and off-mutex pipeline PRs optimize. W workers
+// each run durable update transactions against private 4 KiB objects on the
+// AES/SHA-256 suite with a one-way counter, reporting commit throughput,
+// latency percentiles, and log syncs per commit. With -json the results are
+// also written to BENCH_objstore.json so successive PRs accumulate a
+// machine-readable perf trajectory.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tdb/internal/chunkstore"
+	"tdb/internal/lru"
+	"tdb/internal/objectstore"
+	"tdb/internal/platform"
+	"tdb/internal/sec"
+)
+
+// objstoreResult is one configuration's measurements, JSON-shaped for
+// BENCH_objstore.json.
+type objstoreResult struct {
+	Config         string  `json:"config"`
+	Workers        int     `json:"workers"`
+	Commits        int     `json:"commits"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+}
+
+// objstoreReport is the full BENCH_objstore.json document.
+type objstoreReport struct {
+	Suite       string           `json:"suite"`
+	PayloadSize int              `json:"payload_bytes"`
+	Runs        []objstoreResult `json:"runs"`
+}
+
+// benchBlob is the experiment's persistent class: a raw payload.
+type benchBlob struct {
+	Payload []byte
+}
+
+const benchBlobClass = objectstore.ClassID(9001)
+
+func (o *benchBlob) ClassID() objectstore.ClassID { return benchBlobClass }
+func (o *benchBlob) Pickle(p *objectstore.Pickler) {
+	p.BytesVal(o.Payload)
+}
+func (o *benchBlob) Unpickle(u *objectstore.Unpickler) error {
+	o.Payload = u.BytesVal()
+	return u.Err()
+}
+
+const objstorePayload = 4 << 10
+
+// objstoreVariant names a chunk-store configuration to measure. Disk
+// variants run over a real directory store, where every durable commit
+// pays a true fsync — the regime group commit exists for; they disable
+// background cleaning and checkpointing so the measurement isolates commit
+// cost (the paper's §7.3 experiments drive cleaning separately).
+type objstoreVariant struct {
+	name  string
+	disk  bool
+	chunk func(chunkstore.Config, int) chunkstore.Config
+}
+
+// groupCommitChunk enables group commit tuned for `workers` concurrent
+// committers: rounds close as soon as no more announced commits are
+// inbound, capped at the worker count, bounded by a 2ms window.
+func groupCommitChunk(c chunkstore.Config, workers int) chunkstore.Config {
+	c.GroupCommit = chunkstore.GroupCommitConfig{
+		Enabled:  true,
+		MaxDelay: 2 * time.Millisecond,
+		MaxOps:   workers,
+	}
+	return c
+}
+
+// objstoreConfigs lists the configurations the experiment compares:
+// solo-sync durable commits versus group commit coalescing concurrent
+// commits into shared log syncs and counter advances, on memory and on
+// disk.
+func objstoreConfigs() []objstoreVariant {
+	return []objstoreVariant{
+		{name: "default", chunk: nil},
+		{name: "group-commit", chunk: groupCommitChunk},
+		{name: "default-disk", disk: true, chunk: nil},
+		{name: "group-commit-disk", disk: true, chunk: groupCommitChunk},
+	}
+}
+
+// runObjstoreConfig runs one configuration: workers × commitsPer durable
+// update transactions over private objects.
+func runObjstoreConfig(v objstoreVariant, workers, commitsPer int) (objstoreResult, error) {
+	suite, err := sec.NewSuite("aes-sha256", []byte("tdbbench-objstore"))
+	if err != nil {
+		return objstoreResult{}, err
+	}
+	var backing platform.UntrustedStore = platform.NewMemStore()
+	if v.disk {
+		dir, err := os.MkdirTemp("", "tdbbench-objstore")
+		if err != nil {
+			return objstoreResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		if backing, err = platform.NewDirStore(dir); err != nil {
+			return objstoreResult{}, err
+		}
+	}
+	meter := platform.NewMeterStore(backing)
+	pool := lru.NewPool(64 << 20)
+	ccfg := chunkstore.Config{
+		Store:      meter,
+		Suite:      suite,
+		Counter:    platform.NewMemCounter(),
+		UseCounter: true,
+		CachePool:  pool,
+	}
+	if v.disk {
+		ccfg.SegmentSize = 4 << 20
+		ccfg.DisableAutoClean = true
+		ccfg.DisableAutoCheckpoint = true
+	}
+	if v.chunk != nil {
+		ccfg = v.chunk(ccfg, workers)
+	}
+	cs, err := chunkstore.Open(ccfg)
+	if err != nil {
+		return objstoreResult{}, err
+	}
+	reg := objectstore.NewRegistry()
+	reg.Register(benchBlobClass, func() objectstore.Object { return &benchBlob{} })
+	s, err := objectstore.Open(objectstore.Config{
+		Chunks:      cs,
+		Registry:    reg,
+		CachePool:   pool,
+		LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return objstoreResult{}, err
+	}
+	defer s.Close()
+
+	oids := make([]objectstore.ObjectID, workers)
+	seed := s.Begin()
+	for w := range oids {
+		oid, err := seed.Insert(&benchBlob{Payload: make([]byte, objstorePayload)})
+		if err != nil {
+			return objstoreResult{}, err
+		}
+		oids[w] = oid
+	}
+	if err := seed.Commit(true); err != nil {
+		return objstoreResult{}, err
+	}
+
+	syncsBefore := meter.Stats().Snapshot().SyncOps
+	lats := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, commitsPer)
+			for i := 0; i < commitsPer; i++ {
+				t0 := time.Now()
+				txn := s.Begin()
+				ref, err := objectstore.OpenWritable[*benchBlob](txn, oids[w])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				ref.Deref().Payload[i%objstorePayload]++
+				if err := txn.Commit(true); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return objstoreResult{}, err
+		}
+	}
+	syncs := meter.Stats().Snapshot().SyncOps - syncsBefore
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+	commits := len(all)
+	return objstoreResult{
+		Config:         v.name,
+		Workers:        workers,
+		Commits:        commits,
+		OpsPerSec:      float64(commits) / elapsed.Seconds(),
+		P50Micros:      pct(0.50),
+		P99Micros:      pct(0.99),
+		SyncsPerCommit: float64(syncs) / float64(commits),
+	}, nil
+}
+
+// runObjstore runs the object-store commit experiment and, with jsonOut,
+// writes BENCH_objstore.json.
+func runObjstore(workers, txns int, jsonOut bool) error {
+	fmt.Println("== Object-store commit pipeline: durable commit throughput ==")
+	fmt.Printf("   suite aes-sha256, %d workers, %d B payload, %d commits/worker\n",
+		workers, objstorePayload, txns/workers)
+	report := objstoreReport{Suite: "aes-sha256", PayloadSize: objstorePayload}
+	for _, cfg := range objstoreConfigs() {
+		res, err := runObjstoreConfig(cfg, workers, txns/workers)
+		if err != nil {
+			return fmt.Errorf("objstore %s: %w", cfg.name, err)
+		}
+		report.Runs = append(report.Runs, res)
+		fmt.Printf("  %-24s %9.0f commits/s   p50 %7.1fµs   p99 %7.1fµs   %.2f syncs/commit\n",
+			res.Config, res.OpsPerSec, res.P50Micros, res.P99Micros, res.SyncsPerCommit)
+	}
+	fmt.Println()
+	if jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_objstore.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_objstore.json")
+	}
+	return nil
+}

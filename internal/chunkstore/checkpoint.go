@@ -380,7 +380,11 @@ func (s *Store) checkpointLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := s.appendCommitRecord(true, nil); err != nil {
+	// Checkpoints always harden immediately: the superblock written below
+	// must point at a checkpoint that is durable, and the inline harden also
+	// pays any harden deferred by earlier group commits (one sync covers
+	// them all).
+	if err := s.appendCommitRecordLocked(true, false, nil); err != nil {
 		return err
 	}
 	// Fold a fresh IV reservation into the checkpoint's superblock write, so

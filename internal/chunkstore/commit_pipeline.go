@@ -152,8 +152,10 @@ type stagedOp struct {
 }
 
 // commitPreparedLocked is stage 2 of Commit: validate, append, merge, seal.
-// Caller holds s.mu; prep is the stage-1 output aligned with b.ops.
-func (s *Store) commitPreparedLocked(b *Batch, prep []preparedOp, durable bool) error {
+// Caller holds s.mu; prep is the stage-1 output aligned with b.ops. With
+// deferHarden a durable seal leaves the log sync and counter advance to the
+// group-commit coordinator (see groupcommit.go).
+func (s *Store) commitPreparedLocked(b *Batch, prep []preparedOp, durable, deferHarden bool) error {
 	if err := s.completePendingRewindLocked(); err != nil {
 		return err
 	}
@@ -294,8 +296,9 @@ func (s *Store) commitPreparedLocked(b *Batch, prep []preparedOp, durable bool) 
 		}
 	}
 
-	// Seal: commit record over the post-merge root, sync for durability.
-	if err := s.appendCommitRecord(durable, &appended); err != nil {
+	// Seal: commit record over the post-merge root, sync for durability
+	// (immediately, or deferred to the group-commit round).
+	if err := s.appendCommitRecordLocked(durable, deferHarden, &appended); err != nil {
 		rollback()
 		return fail(err)
 	}

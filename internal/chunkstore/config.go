@@ -2,11 +2,42 @@ package chunkstore
 
 import (
 	"fmt"
+	"time"
 
 	"tdb/internal/lru"
 	"tdb/internal/platform"
 	"tdb/internal/sec"
 )
+
+// GroupCommitConfig configures the durable-commit coordinator. When enabled,
+// concurrent durable commits coalesce into group-commit rounds: one log sync
+// plus one one-way-counter advance hardens every commit record of the round
+// (leader/follower; see groupcommit.go). The §3.2.2 ordering guarantee is
+// preserved — the round's sync covers all earlier nondurable commits too.
+//
+// Group commit trades failure semantics for throughput: with it disabled
+// (the default), a durable commit whose log sync fails is rolled back
+// entirely and the batch stays retryable; with it enabled, the commit is
+// already applied in memory when the deferred sync runs, so a sync failure
+// surfaces the error from Commit while the state remains applied
+// nondurably (a later durable commit or Close may still harden it).
+type GroupCommitConfig struct {
+	// Enabled turns group commit on. The zero value (off) preserves the
+	// immediate sync-per-commit behavior.
+	Enabled bool
+	// MaxDelay bounds a round leader's batching window. The window stays
+	// open only while announced durable commits are still inbound (pickled
+	// or encrypting but not yet appended) — it closes the moment nothing
+	// more is imminently arriving, so an idle store never waits out the
+	// full delay. 0 disables the window entirely: the leader syncs
+	// immediately, and coalescing still emerges naturally from commits
+	// that append while a sync is in flight.
+	MaxDelay time.Duration
+	// MaxOps closes the batching window early once this many commits are
+	// waiting on the round, bounding per-commit latency under sustained
+	// load. 0 selects 64.
+	MaxOps int
+}
 
 // Config configures a chunk store.
 type Config struct {
@@ -62,6 +93,9 @@ type Config struct {
 	// storage errors (platform.ErrTransient). Zero fields select defaults:
 	// 4 attempts with 1ms backoff doubling to a 50ms cap.
 	Retry RetryPolicy
+	// GroupCommit coalesces concurrent durable commits into shared log
+	// syncs and counter advances. Disabled by default.
+	GroupCommit GroupCommitConfig
 }
 
 func (c *Config) fillDefaults() error {
@@ -106,6 +140,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CommitWorkers < 0 {
 		return fmt.Errorf("%w: commit workers %d negative", ErrUsage, c.CommitWorkers)
+	}
+	if c.GroupCommit.MaxDelay < 0 {
+		return fmt.Errorf("%w: group commit delay %v negative", ErrUsage, c.GroupCommit.MaxDelay)
+	}
+	if c.GroupCommit.MaxOps < 0 {
+		return fmt.Errorf("%w: group commit ops %d negative", ErrUsage, c.GroupCommit.MaxOps)
+	}
+	if c.GroupCommit.Enabled && c.GroupCommit.MaxOps == 0 {
+		c.GroupCommit.MaxOps = 64
 	}
 	c.Retry.fillDefaults()
 	return nil

@@ -1,0 +1,228 @@
+package chunkstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tdb/internal/platform"
+	"tdb/internal/sec"
+)
+
+// groupEnv is a store-under-test with a sync-counting meter between the
+// chunk store and memory, for asserting how many log syncs a set of
+// commits cost.
+type groupEnv struct {
+	mem     *platform.MemStore
+	meter   *platform.MeterStore
+	counter *platform.MemCounter
+	suite   sec.Suite
+	cfg     Config
+}
+
+func newGroupEnv(t *testing.T) *groupEnv {
+	t.Helper()
+	suite, err := sec.NewSuite("aes-sha256", []byte("group-commit-test-secret-0123456"))
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	env := &groupEnv{
+		mem:     platform.NewMemStore(),
+		counter: platform.NewMemCounter(),
+		suite:   suite,
+	}
+	env.meter = platform.NewMeterStore(env.mem)
+	env.cfg = Config{
+		Store:      env.meter,
+		Counter:    env.counter,
+		Suite:      suite,
+		UseCounter: true,
+		// One big segment and no background maintenance, so the only syncs
+		// during the measured window are commit-durability syncs.
+		SegmentSize:           1 << 20,
+		DisableAutoClean:      true,
+		DisableAutoCheckpoint: true,
+	}
+	return env
+}
+
+func (env *groupEnv) open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(env.cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// runConcurrentDurableCommits fires k goroutines, each durably committing
+// one write to its own chunk, and returns (syncs, counterAdvances) spent on
+// the k commits.
+func runConcurrentDurableCommits(t *testing.T, env *groupEnv, s *Store, k int) (int64, uint64) {
+	t.Helper()
+	cids := make([]ChunkID, k)
+	for i := range cids {
+		cid, err := s.AllocateChunkID()
+		if err != nil {
+			t.Fatalf("AllocateChunkID: %v", err)
+		}
+		cids[i] = cid
+	}
+	syncsBefore := env.meter.Stats().Snapshot().SyncOps
+	ctrBefore, err := env.counter.Read()
+	if err != nil {
+		t.Fatalf("counter Read: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := s.NewBatch()
+			b.Write(cids[i], []byte(fmt.Sprintf("group-commit payload %d", i)))
+			errs[i] = s.Commit(b, true)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	for i, cid := range cids {
+		got, err := s.Read(cid)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", cid, err)
+		}
+		want := fmt.Sprintf("group-commit payload %d", i)
+		if string(got) != want {
+			t.Fatalf("Read(%d) = %q, want %q", cid, got, want)
+		}
+	}
+	syncs := env.meter.Stats().Snapshot().SyncOps - syncsBefore
+	ctrAfter, err := env.counter.Read()
+	if err != nil {
+		t.Fatalf("counter Read: %v", err)
+	}
+	return syncs, ctrAfter - ctrBefore
+}
+
+// TestGroupCommitCoalescesSyncs is the core group-commit economy claim:
+// K concurrent durable commits cost strictly fewer than K log syncs (and
+// strictly fewer than K one-way counter advances) with coalescing on, and
+// exactly K of each with it off.
+//
+// The coalescing side is made deterministic rather than racy: one
+// artificial inbound announcement keeps the round leader's batching window
+// open until all K committers are waiting (MaxOps = K), and the injected
+// Retry.Sleep clock blocks the window's watchdog until the test is over,
+// so exactly one harden covers everyone.
+func TestGroupCommitCoalescesSyncs(t *testing.T) {
+	const k = 8
+
+	t.Run("enabled", func(t *testing.T) {
+		env := newGroupEnv(t)
+		env.cfg.GroupCommit = GroupCommitConfig{
+			Enabled:  true,
+			MaxOps:   k,
+			MaxDelay: time.Second,
+		}
+		hold := make(chan struct{})
+		defer close(hold)
+		env.cfg.Retry.Sleep = func(time.Duration) { <-hold }
+		s := env.open(t)
+		defer s.Close()
+		s.gc.addInbound(1)
+		defer s.gc.addInbound(-1)
+
+		syncs, advances := runConcurrentDurableCommits(t, env, s, k)
+		if syncs >= k {
+			t.Errorf("group commit: %d syncs for %d concurrent durable commits, want strictly fewer", syncs, k)
+		}
+		if syncs < 1 {
+			t.Errorf("group commit: %d syncs, want at least one (durability!)", syncs)
+		}
+		if advances >= k {
+			t.Errorf("group commit: %d counter advances for %d commits, want strictly fewer", advances, k)
+		}
+		t.Logf("group commit: %d commits hardened by %d sync(s), %d counter advance(s)", k, syncs, advances)
+
+		// The store must still recover and validate: the coalesced counter
+		// advance has to match what recovery recomputes from the log.
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		reopened := env.open(t)
+		defer reopened.Close()
+		if err := reopened.Verify(); err != nil {
+			t.Fatalf("Verify after reopen: %v", err)
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		env := newGroupEnv(t)
+		s := env.open(t)
+		defer s.Close()
+
+		syncs, advances := runConcurrentDurableCommits(t, env, s, k)
+		if syncs != k {
+			t.Errorf("no group commit: %d syncs for %d durable commits, want exactly %d", syncs, k, k)
+		}
+		if advances != k {
+			t.Errorf("no group commit: %d counter advances, want exactly %d", advances, k)
+		}
+	})
+}
+
+// TestGroupCommitHardensEarlierNondurable checks §3.2.2 under group commit:
+// a durable commit hardens every earlier nondurable commit, even when its
+// log sync is performed by a group-commit round rather than inline.
+func TestGroupCommitHardensEarlierNondurable(t *testing.T) {
+	env := newGroupEnv(t)
+	fs := platform.NewFaultStore(env.mem)
+	env.cfg.Store = fs
+	env.cfg.GroupCommit = GroupCommitConfig{Enabled: true}
+	s := env.open(t)
+
+	fs.SetLoseUnsynced(true)
+
+	// Nondurable commit first, then a durable one through the coordinator.
+	nd, err := s.AllocateChunkID()
+	if err != nil {
+		t.Fatalf("AllocateChunkID: %v", err)
+	}
+	b := s.NewBatch()
+	b.Write(nd, []byte("nondurable payload"))
+	if err := s.Commit(b, false); err != nil {
+		t.Fatalf("nondurable Commit: %v", err)
+	}
+	d, err := s.AllocateChunkID()
+	if err != nil {
+		t.Fatalf("AllocateChunkID: %v", err)
+	}
+	b = s.NewBatch()
+	b.Write(d, []byte("durable payload"))
+	if err := s.Commit(b, true); err != nil {
+		t.Fatalf("durable Commit: %v", err)
+	}
+
+	// Crash: everything unsynced is lost. The durable commit's round synced
+	// the whole log tail, so both commits must survive.
+	if err := fs.CrashLoseUnsynced(); err != nil {
+		t.Fatalf("CrashLoseUnsynced: %v", err)
+	}
+	reopened := env.open(t)
+	defer reopened.Close()
+	for cid, want := range map[ChunkID]string{nd: "nondurable payload", d: "durable payload"} {
+		got, err := reopened.Read(cid)
+		if err != nil {
+			t.Fatalf("Read(%d) after crash: %v", cid, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Read(%d) = %q, want %q", cid, got, want)
+		}
+	}
+}

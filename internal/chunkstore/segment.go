@@ -47,6 +47,14 @@ type segment struct {
 	sealed bool
 	// synced tracks whether all appended bytes are durable.
 	synced bool
+	// gen counts content mutations (appends, rewind truncations). An
+	// off-mutex group-commit sync snapshots it to decide, afterwards,
+	// whether its fsync covered everything the segment now holds.
+	gen uint64
+	// syncing marks segments an off-mutex sync currently holds file
+	// handles to; free defers closing such handles via doomed.
+	syncing bool
+	doomed  bool
 }
 
 // segmentSet manages all segment files of one store. All raw segment I/O
@@ -206,7 +214,12 @@ func (ss *segmentSet) free(num uint64) error {
 	if seg == ss.tail {
 		return fmt.Errorf("%w: cannot free tail segment %d", ErrTampered, num)
 	}
-	if err := seg.file.Close(); err != nil {
+	if seg.syncing {
+		// An off-mutex group-commit sync holds this file handle; closing it
+		// now would fail that fsync. Unlink the file and leave the handle to
+		// finishSyncLocked.
+		seg.doomed = true
+	} else if err := seg.file.Close(); err != nil {
 		return err
 	}
 	delete(ss.segs, num)
@@ -292,6 +305,7 @@ func (ss *segmentSet) rewind(m tailMark) error {
 		}
 		target.size = m.size
 		target.synced = false
+		target.gen++
 	}
 	target.sealed = false
 	ss.next = m.next
@@ -320,6 +334,7 @@ func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {
 	}
 	tail.size += int64(len(rec))
 	tail.synced = false
+	tail.gen++
 	return loc, nil
 }
 
@@ -364,6 +379,59 @@ func (ss *segmentSet) syncDirty() error {
 		}
 	}
 	return nil
+}
+
+// syncTask snapshots one dirty segment for an off-mutex group-commit sync.
+type syncTask struct {
+	seg *segment
+	gen uint64
+}
+
+// syncSnapshotLocked collects every unsynced segment, marking it in-flight
+// so the cleaner defers closing its file handle. Caller holds the store
+// mutex.
+func (ss *segmentSet) syncSnapshotLocked() []syncTask {
+	var tasks []syncTask
+	for _, n := range ss.numbers() {
+		seg := ss.segs[n]
+		if !seg.synced {
+			seg.syncing = true
+			tasks = append(tasks, syncTask{seg: seg, gen: seg.gen})
+		}
+	}
+	return tasks
+}
+
+// syncTasks fsyncs a snapshot outside the store mutex. Concurrent appends
+// to the same files are safe — an fsync covers at least the snapshotted
+// bytes — and finishSyncLocked only marks a segment clean when nothing
+// mutated it meanwhile.
+func (ss *segmentSet) syncTasks(tasks []syncTask) error {
+	for _, task := range tasks {
+		if err := ss.syncFile(task.seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishSyncLocked publishes the outcome of an off-mutex sync: with ok,
+// segments untouched since the snapshot become clean; segments the cleaner
+// doomed while the sync was in flight get their handles closed. Caller
+// holds the store mutex.
+func (ss *segmentSet) finishSyncLocked(tasks []syncTask, ok bool) {
+	for _, task := range tasks {
+		seg := task.seg
+		seg.syncing = false
+		if seg.doomed {
+			seg.doomed = false
+			seg.file.Close()
+			continue
+		}
+		if ok && seg.gen == task.gen {
+			seg.synced = true
+		}
+	}
 }
 
 // closeAll closes every file handle.

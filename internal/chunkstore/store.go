@@ -46,6 +46,23 @@ type Store struct {
 	// successful commit would let crash recovery replay the orphans.
 	pendingRewind *tailMark
 
+	// groupPending is true while durable commit records are appended whose
+	// harden — log sync plus (possibly) a counter advance — is still owed
+	// (group commit's deferred harden, see groupcommit.go). A harden pays
+	// one sync and at most one counter advance for all of them. Mutated
+	// only under mu.
+	groupPending bool
+	// stampCtr is the counter value stamped into the newest durable commit
+	// record. Durable appends stamp counterVal+1, so the invariant is
+	// stampCtr ∈ {counterVal, counterVal+1}: a harden advances the hardware
+	// counter only while stampCtr is ahead, which keeps rounds that merely
+	// re-sync records already covered by an earlier advance from pushing
+	// the counter past every stored stamp. Mutated only under mu.
+	stampCtr uint64
+	// gc coordinates group-commit rounds (leader/follower). Created at Open
+	// and never reassigned.
+	gc *groupCommitter
+
 	// commitSeq is the sequence number of the last commit record appended.
 	commitSeq uint64
 	// counterVal caches the one-way counter's current value.
@@ -96,6 +113,7 @@ func Open(cfg Config) (*Store, error) {
 		segs:       newSegmentSet(cfg.Store, cfg.Retry),
 		snapshots:  make(map[*Snapshot]struct{}),
 		quarantine: make(map[ChunkID]string),
+		gc:         newGroupCommitter(),
 	}
 	if cfg.UseCounter {
 		v, err := cfg.Counter.Read()
@@ -110,6 +128,7 @@ func Open(cfg Config) (*Store, error) {
 		if err := s.format(); err != nil {
 			return nil, err
 		}
+		s.stampCtr = s.counterVal
 		return s, nil
 	}
 	if err != nil {
@@ -118,6 +137,9 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.recover(sb); err != nil {
 		return nil, err
 	}
+	// Recovery leaves no harden owed: the newest durable record's stamp
+	// matches the (possibly caught-up) hardware counter.
+	s.stampCtr = s.counterVal
 	// Every generation the previous process lifetime could have consumed lies
 	// at or below the superblock's reservation mark, so ratcheting past it
 	// guarantees no IV seed is ever reused across restarts. The commitSeq
@@ -226,6 +248,14 @@ func (s *Store) Close() error {
 	// mistaken for log content by offline tools; recovery would discard it
 	// anyway (it follows the last durable commit record).
 	err := s.completePendingRewindLocked()
+	// Pay any deferred group-commit harden before shutting the segments
+	// down: the pending records are already applied and visible, and their
+	// waiters must be released before Close marks the store closed.
+	if s.groupPending {
+		if herr := s.hardenLocked(); herr != nil && err == nil {
+			err = herr
+		}
+	}
 	if s.residualBytes > 0 {
 		if cerr := s.checkpointLocked(); cerr != nil && err == nil {
 			err = cerr
@@ -417,47 +447,156 @@ func (b *Batch) Len() int { return len(b.ops) }
 // exactly as before the call, and the batch's operations remain staged so
 // the caller may retry the same Batch. An ErrMaintenance error means the
 // commit itself fully applied (durably, if requested) and only post-commit
-// maintenance failed.
+// maintenance failed. Exception, with Config.GroupCommit enabled: a durable
+// commit whose deferred group harden fails returns the harden error with
+// the batch applied nondurably (see GroupCommitConfig).
 //
 // Batches larger than MaxBatchOps are rejected with ErrBatchTooLarge.
+//
+// Commit is PrepareBatch + CommitPrepared + AwaitDurable; callers that hold
+// their own lock around the store (like the object store) use the stages
+// directly so only stage 2 runs inside their critical section.
 func (s *Store) Commit(b *Batch, durable bool) error {
+	announced := s.AnnounceDurable(durable)
+	p, err := s.PrepareBatch(b)
+	if err != nil {
+		if announced {
+			s.RetractDurable()
+		}
+		return err
+	}
+	ticket, err := s.CommitPrepared(b, p, durable)
+	if err != nil && !errors.Is(err, ErrMaintenance) {
+		if announced {
+			s.RetractDurable()
+		}
+		return err
+	}
+	if werr := s.AwaitDurable(ticket); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// AnnounceDurable tells the group-commit coordinator that a durable commit
+// is being prepared, so a round leader's batching window waits for its
+// record instead of syncing just before it arrives. It reports whether the
+// announcement was made (durable, group commit enabled). Callers announce
+// before stage 1 and must balance the announcement exactly once: the commit
+// record's append settles it implicitly; on any path where CommitPrepared
+// does not seal (preparation failure, commit error other than
+// ErrMaintenance), call RetractDurable.
+func (s *Store) AnnounceDurable(durable bool) bool {
+	if !durable || !s.cfg.GroupCommit.Enabled {
+		return false
+	}
+	s.gc.addInbound(1)
+	return true
+}
+
+// RetractDurable balances an AnnounceDurable whose commit never appended.
+func (s *Store) RetractDurable() {
+	s.gc.addInbound(-1)
+}
+
+// PreparedBatch holds commit stage-1 output: every write payload of one
+// batch encrypted and hashed, ready to append. It is bound to the batch
+// contents at preparation time and to the store that prepared it.
+type PreparedBatch struct {
+	s    *Store
+	prep []preparedOp
+	n    int
+}
+
+// PrepareBatch runs commit stage 1 — encrypting and hashing the batch's
+// write payloads, fanned out across CommitWorkers goroutines — without
+// taking the store mutex. The only store state it touches is the IV
+// generation counter (lock-free on the fast path), so callers holding
+// their own locks around CommitPrepared can run preparation outside them.
+// The batch must not be modified between PrepareBatch and CommitPrepared.
+func (s *Store) PrepareBatch(b *Batch) (*PreparedBatch, error) {
 	if len(b.ops) > MaxBatchOps {
-		return fmt.Errorf("%w: %d operations (max %d)", ErrBatchTooLarge, len(b.ops), MaxBatchOps)
+		return nil, fmt.Errorf("%w: %d operations (max %d)", ErrBatchTooLarge, len(b.ops), MaxBatchOps)
 	}
 	// Cheap closed check before stage 1, so commits against a closed store
 	// fail fast instead of encrypting and hashing a whole batch first. The
-	// authoritative check still happens under the mutex below.
+	// authoritative check still happens under the mutex in CommitPrepared.
 	if s.closed.Load() {
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	// Stage 1: encrypt and hash outside the mutex (see commit_pipeline.go).
 	gen, err := s.nextIVGen()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	prep, err := prepareBatch(s.suite, b.ops, gen, s.cfg.CommitWorkers)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	// Stage 2: validate, append, and merge under the mutex.
+	return &PreparedBatch{s: s, prep: prep, n: len(b.ops)}, nil
+}
+
+// CommitTicket is CommitPrepared's receipt. With group commit enabled, a
+// durable commit's harden (log sync + counter advance) may still be owed
+// when CommitPrepared returns; AwaitDurable blocks until it is paid.
+type CommitTicket struct {
+	s       *Store
+	seq     uint64
+	pending bool
+}
+
+// Pending reports whether the commit still awaits its group harden.
+func (t CommitTicket) Pending() bool { return t.pending }
+
+// CommitPrepared runs commit stage 2 under the store mutex: validate,
+// append, merge, seal (commit_pipeline.go). Error semantics match Commit,
+// except that with group commit enabled a durable commit returns with the
+// harden deferred — the caller completes it with AwaitDurable on the
+// returned ticket. The ticket is valid (and AwaitDurable required) even
+// when the error matches ErrMaintenance, since the commit itself applied.
+func (s *Store) CommitPrepared(b *Batch, p *PreparedBatch, durable bool) (CommitTicket, error) {
+	if p == nil || p.s != s {
+		return CommitTicket{}, fmt.Errorf("%w: prepared batch does not belong to this store", ErrUsage)
+	}
+	if p.n != len(b.ops) {
+		return CommitTicket{}, fmt.Errorf("%w: batch modified since preparation (%d ops prepared, %d staged)", ErrUsage, p.n, len(b.ops))
+	}
+	deferHarden := durable && s.cfg.GroupCommit.Enabled
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return CommitTicket{}, ErrClosed
 	}
-	if err := s.commitPreparedLocked(b, prep, durable); err != nil {
-		return err
+	if err := s.commitPreparedLocked(b, p.prep, durable, deferHarden); err != nil {
+		return CommitTicket{}, err
 	}
+	ticket := CommitTicket{s: s, seq: s.commitSeq, pending: deferHarden}
 	if err := s.maybeMaintain(); err != nil {
-		return fmt.Errorf("%w: %w", ErrMaintenance, err)
+		return ticket, fmt.Errorf("%w: %w", ErrMaintenance, err)
 	}
-	return nil
+	return ticket, nil
 }
 
-// appendCommitRecord writes the commit record for the current in-memory
-// state and, for durable commits, syncs the log and advances the one-way
-// counter.
-func (s *Store) appendCommitRecord(durable bool, appended *int64) error {
+// AwaitDurable blocks until the ticket's commit record is hardened, joining
+// (or leading) a group-commit round when the harden is still owed. It
+// returns immediately for tickets with nothing pending. A non-nil error
+// means the commit remains applied but not durable.
+func (s *Store) AwaitDurable(t CommitTicket) error {
+	if !t.pending {
+		return nil
+	}
+	if t.s != s {
+		return fmt.Errorf("%w: ticket does not belong to this store", ErrUsage)
+	}
+	return s.awaitHarden(t.seq)
+}
+
+// appendCommitRecordLocked writes the commit record for the current
+// in-memory state. Durable records are stamped with counterVal+1 — the
+// counter value after the harden that will cover them. With deferHarden the
+// harden is left to the group-commit coordinator (the record joins the
+// pending round); otherwise it runs inline, and on failure the record's
+// effects are rolled back (callers rewind the appended bytes).
+func (s *Store) appendCommitRecordLocked(durable, deferHarden bool, appended *int64) error {
 	seq := s.commitSeq + 1
 	ctr := s.counterVal
 	if durable && s.cfg.UseCounter {
@@ -472,18 +611,32 @@ func (s *Store) appendCommitRecord(durable bool, appended *int64) error {
 	if appended != nil {
 		*appended += int64(len(rec))
 	}
+	s.commitSeq = seq
 	if durable {
-		if err := s.segs.syncDirty(); err != nil {
-			return err
-		}
+		wasPending, wasStamp := s.groupPending, s.stampCtr
+		s.groupPending = true
 		if s.cfg.UseCounter {
-			if _, err := s.cfg.Counter.Increment(); err != nil {
-				return fmt.Errorf("chunkstore: incrementing one-way counter: %w", err)
+			s.stampCtr = ctr
+		}
+		if deferHarden {
+			// The record is in the log: any round syncing from here on
+			// covers it, so the commit no longer counts as inbound.
+			s.gc.addInbound(-1)
+		}
+		if !deferHarden {
+			if err := s.hardenLocked(); err != nil {
+				// The caller rewinds the appended record, so the pending
+				// round must not keep counting it: a later harden would
+				// advance the hardware counter past every surviving durable
+				// record's stamp, and recovery would read that as replay
+				// tampering.
+				s.groupPending = wasPending
+				s.stampCtr = wasStamp
+				s.commitSeq = seq - 1
+				return err
 			}
-			s.counterVal = ctr
 		}
 	}
-	s.commitSeq = seq
 	return nil
 }
 

@@ -80,6 +80,11 @@ type Options struct {
 	// fields select the defaults; see chunkstore.RetryPolicy).
 	Retry chunkstore.RetryPolicy
 
+	// GroupCommit coalesces concurrent durable commits into shared log
+	// syncs and one-way-counter advances (disabled by default; see
+	// chunkstore.GroupCommitConfig for the semantics trade-off).
+	GroupCommit chunkstore.GroupCommitConfig
+
 	// LockTimeout bounds object lock waits (deadlock breaking); zero
 	// selects the default.
 	LockTimeout time.Duration
@@ -206,6 +211,7 @@ func (db *DB) chunkConfig() chunkstore.Config {
 		DisableAutoClean:      db.opts.DisableAutoClean,
 		DisableAutoCheckpoint: db.opts.DisableAutoCheckpoint,
 		Retry:                 db.opts.Retry,
+		GroupCommit:           db.opts.GroupCommit,
 	}
 }
 

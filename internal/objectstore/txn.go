@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"errors"
 	"fmt"
 
 	"tdb/internal/chunkstore"
@@ -79,8 +80,12 @@ func (t *Txn) Insert(obj Object) (ObjectID, error) {
 	oid := ObjectID(cid)
 	if err := t.lock(oid, lockExclusive); err != nil {
 		// Fresh id: nobody else can hold it; a timeout here is unexpected
-		// but handled uniformly.
-		t.s.chunks.Release(cid)
+		// but handled uniformly. Returning the id is cleanup whose failure
+		// the caller must still see — a leaked id stays allocated until the
+		// next crash recovery.
+		if rerr := t.s.chunks.Release(cid); rerr != nil {
+			return NilObject, errors.Join(err, fmt.Errorf("objectstore: releasing unused chunk id %d: %w", cid, rerr))
+		}
 		return NilObject, err
 	}
 	e := t.s.addToCache(oid, obj, int64(64)) // size refined at commit
@@ -209,14 +214,35 @@ func (t *Txn) Active() bool {
 // commits inserted and written objects and removals). With durable set the
 // commit — and all previous nondurable commits — survives crashes.
 // The transaction and all references derived from it become invalid.
+//
+// The expensive half of a commit — pickling the write set and the chunk
+// store's stage-1 payload crypto — runs outside the store mutex: the
+// transaction's strict two-phase locks make its read/write set private
+// until the transaction ends, so no concurrent transaction can observe or
+// mutate the objects being pickled. The chunk store's short stage-2 merge
+// serializes only on the chunk store's own mutex, and the store mutex here
+// is taken just for the cache publish, letting concurrent committers use
+// every core (root-pointer commits serialize fully; see commitPublish).
+// (With DisableLocking the application asserts there are no concurrent
+// transactions; it gets no isolation here either.)
+//
+// A non-nil error matching chunkstore.ErrMaintenance means the commit
+// itself fully applied and only post-commit work — chunk-store maintenance
+// or returning unused chunk ids — failed. Any other error leaves the
+// transaction active so the application can retry or abort; except that
+// with group commit enabled, a failed deferred harden surfaces here after
+// the commit applied (see chunkstore.GroupCommitConfig).
 func (t *Txn) Commit(durable bool) error {
 	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
-	if !t.active {
+	active := t.active
+	t.s.mu.Unlock()
+	if !active {
 		return ErrTxnDone
 	}
 	// Optional §4.1-style const check: objects opened read-only must be
-	// byte-identical to their state at open.
+	// byte-identical to their state at open. The objects are share-locked,
+	// so pickling them unlocked races only with the very bug the check
+	// exists to catch.
 	if t.s.cfg.ReadonlyChecks {
 		for oid, to := range t.opened {
 			if to.roSnapshot == nil || to.written || to.removed {
@@ -225,12 +251,19 @@ func (t *Txn) Commit(durable bool) error {
 			if string(pickleObject(to.entry.obj)) != string(to.roSnapshot) {
 				// Evict the poisoned cache entry so the next open refetches
 				// the committed state, then fail the transaction.
+				t.s.mu.Lock()
 				t.finish(true)
 				t.s.dropFromCache(oid)
+				t.s.mu.Unlock()
 				return fmt.Errorf("%w: object %d", ErrReadonlyViolation, oid)
 			}
 		}
 	}
+	// Announce the durable commit before the expensive unlocked work, so a
+	// group-commit round leader's batching window waits for this record
+	// instead of syncing just before it lands.
+	announced := t.s.chunks.AnnounceDurable(durable)
+	// Build the batch and run stage-1 crypto, still unlocked.
 	batch := t.s.chunks.NewBatch()
 	var unusedIDs []chunkstore.ChunkID
 	for oid, to := range t.opened {
@@ -253,23 +286,83 @@ func (t *Txn) Commit(durable bool) error {
 			to.entry.size = int64(len(data))
 		}
 	}
-	if t.rootSet && t.rootOID != t.s.rootOID {
+	if t.rootSet {
+		// Always write the root chunk, even when the pointer appears
+		// unchanged: the store's current root is only snapshotted at
+		// publish, so skipping "equal" values here could race a concurrent
+		// root update between this check and the commit.
 		p := NewPickler()
 		p.ObjectID(t.rootOID)
 		batch.Write(t.s.rootChunk, p.Bytes())
 	}
-	//tdblint:ignore locked-io stage-1 payload crypto still runs under the objectstore mutex; lifting it out is tracked in ROADMAP.md
-	if err := t.s.chunks.Commit(batch, durable); err != nil {
-		// The chunk store applied nothing; keep the transaction active so
-		// the application can retry or abort.
+	prep, err := t.s.chunks.PrepareBatch(batch)
+	if err != nil {
+		// Nothing applied; the transaction stays active.
+		if announced {
+			t.s.chunks.RetractDurable()
+		}
 		return err
 	}
-	// Publish results.
-	if t.rootSet {
-		t.s.rootOID = t.rootOID
+	// Stage 2 + publish under the mutex, then the (possibly deferred)
+	// durability wait outside it.
+	ticket, err := t.commitPublish(batch, prep, unusedIDs, durable)
+	if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
+		// The chunk store applied nothing; keep the transaction active so
+		// the application can retry or abort.
+		if announced {
+			t.s.chunks.RetractDurable()
+		}
+		return err
 	}
+	if werr := t.s.chunks.AwaitDurable(ticket); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// commitPublish runs chunk-store commit stage 2 and, when the commit
+// applied, publishes the results — root pointer, object cache, unused-id
+// returns — and ends the transaction. Failures of post-commit work are
+// reported wrapped as chunkstore.ErrMaintenance; the commit stands.
+func (t *Txn) commitPublish(batch *chunkstore.Batch, prep *chunkstore.PreparedBatch, unusedIDs []chunkstore.ChunkID, durable bool) (chunkstore.CommitTicket, error) {
+	// Root-pointer commits serialize fully: the in-memory root pointer must
+	// be updated in the same order as the chunk-store commits persisting it,
+	// and only the store mutex provides that ordering.
+	if t.rootSet {
+		t.s.mu.Lock()
+		defer t.s.mu.Unlock()
+		ticket, err := t.s.chunks.CommitPrepared(batch, prep, durable)
+		if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
+			return ticket, err
+		}
+		t.s.rootOID = t.rootOID
+		return ticket, t.publishLocked(unusedIDs, err)
+	}
+	// Ordinary commits run chunk-store stage 2 outside the store mutex:
+	// strict 2PL keeps the write set exclusively locked until finish, so no
+	// concurrent transaction can observe the gap between the chunk commit
+	// and the cache publish, and disjoint committers serialize only on the
+	// chunk store's own short stage 2. This is also what lets group-commit
+	// rounds form — while one round's log sync is in flight, other
+	// committers can append their records and join the next round.
+	ticket, err := t.s.chunks.CommitPrepared(batch, prep, durable)
+	if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
+		return ticket, err
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return ticket, t.publishLocked(unusedIDs, err)
+}
+
+// publishLocked finishes a committed transaction: returns unused chunk ids
+// to the allocator, publishes cache state, and releases locks. Failures of
+// this post-commit work are reported wrapped as chunkstore.ErrMaintenance;
+// the commit stands. Caller holds s.mu.
+func (t *Txn) publishLocked(unusedIDs []chunkstore.ChunkID, postErr error) error {
 	for _, cid := range unusedIDs {
-		t.s.chunks.Release(cid)
+		if rerr := t.s.chunks.Release(cid); rerr != nil && postErr == nil {
+			postErr = fmt.Errorf("%w: releasing unused chunk id %d: %w", chunkstore.ErrMaintenance, cid, rerr)
+		}
 	}
 	for oid, to := range t.opened {
 		if to.removed {
@@ -280,7 +373,7 @@ func (t *Txn) Commit(durable bool) error {
 		}
 	}
 	t.finish(false)
-	return nil
+	return postErr
 }
 
 // Abort undoes the transaction (paper Figure 3): objects opened for writing

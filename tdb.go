@@ -86,6 +86,8 @@ type (
 	RepairResult = backupstore.RepairResult
 	// RetryPolicy tunes transient-I/O retry (Options.Retry).
 	RetryPolicy = chunkstore.RetryPolicy
+	// GroupCommitConfig tunes durable-commit coalescing (Options.GroupCommit).
+	GroupCommitConfig = chunkstore.GroupCommitConfig
 )
 
 // Object store types: persistent objects, pickling, class registry.
