@@ -2,6 +2,11 @@ GO ?= go
 # LINTFLAGS passes extra flags to tdblint, e.g. an escape hatch while
 # iterating: make check LINTFLAGS='-skip locked-io'.
 LINTFLAGS ?=
+# WRITEBEHIND lists the write-behind modes (TDB_WRITEBEHIND values) the
+# faults and bench-smoke suites sweep: the tail buffer must be invisible
+# to crash recovery and the perf harness in both states. Narrow while
+# iterating: make faults WRITEBEHIND=off.
+WRITEBEHIND ?= on off
 
 .PHONY: build test check faults lint bench bench-smoke
 
@@ -20,12 +25,16 @@ lint:
 # faults runs the hostile-disk suites under the race detector in short mode:
 # programmable fault injection (transient I/O errors, bit rot, torn tails,
 # lost unsynced writes), crash sweeps at every write boundary, transient
-# retry semantics, scrub/quarantine, and repair from the backup chain.
+# retry semantics, scrub/quarantine, and repair from the backup chain —
+# once per write-behind mode.
 faults:
-	$(GO) test -race -short -count=1 \
-		-run 'Fault|Transient|Retry|IOError|Crash|Torn|Rot|Scrub|Quarantine|Degraded|Repair|Tamper|Unsynced' \
-		./internal/platform/ ./internal/chunkstore/ ./internal/backupstore/ \
-		./internal/objectstore/ .
+	@for wb in $(WRITEBEHIND); do \
+		echo "== faults (TDB_WRITEBEHIND=$$wb) =="; \
+		TDB_WRITEBEHIND=$$wb $(GO) test -race -short -count=1 \
+			-run 'Fault|Transient|Retry|IOError|Crash|Torn|Rot|Scrub|Quarantine|Degraded|Repair|Tamper|Unsynced|WriteBehind' \
+			./internal/platform/ ./internal/chunkstore/ ./internal/backupstore/ \
+			./internal/objectstore/ . || exit 1; \
+	done
 
 # check is the pre-merge gate: the fault-injection suite, vet, the trust-
 # invariant analyzers, the full suite under the race detector (the chunk
@@ -40,7 +49,11 @@ check: faults
 bench:
 	$(GO) test ./internal/chunkstore/ -run XXX -bench 'BenchmarkCommitParallelCrypto|BenchmarkConcurrentRead' -benchtime 1s
 
-# bench-smoke runs every benchmark exactly once — not for numbers, only to
-# keep the benchmarks compiling and passing their own assertions.
+# bench-smoke runs every benchmark exactly once per write-behind mode —
+# not for numbers, only to keep the benchmarks compiling and passing their
+# own assertions in both states.
 bench-smoke:
-	$(GO) test ./... -run XXX -bench . -benchtime 1x
+	@for wb in $(WRITEBEHIND); do \
+		echo "== bench-smoke (TDB_WRITEBEHIND=$$wb) =="; \
+		TDB_WRITEBEHIND=$$wb $(GO) test ./... -run XXX -bench . -benchtime 1x || exit 1; \
+	done

@@ -19,6 +19,9 @@ import (
 //	clock-injection  no bare time.Now/time.Sleep in code that threads an
 //	                 injectable clock
 //	unlock-path      no return while a non-deferred mutex is held
+//	raw-io-funnel    no direct platform-File ReadAt/WriteAt/Sync/Truncate in
+//	                 chunkstore outside the RetryPolicy funnel (the retrying
+//	                 segmentSet/superblock helpers)
 //
 // Findings are suppressed, one site at a time, with
 //
@@ -68,7 +71,7 @@ type ignoreDirective struct {
 }
 
 var analyzerNames = []string{
-	"locked-io", "err-taxonomy", "secret-hygiene", "clock-injection", "unlock-path",
+	"locked-io", "err-taxonomy", "secret-hygiene", "clock-injection", "unlock-path", "raw-io-funnel",
 }
 
 // run executes every enabled analyzer and returns the surviving findings
@@ -97,6 +100,9 @@ func (l *linter) run() []Finding {
 		}
 		if l.enabled["clock-injection"] {
 			l.clockInjection(pkg)
+		}
+		if l.enabled["raw-io-funnel"] {
+			l.rawIOFunnel(pkg)
 		}
 	}
 	l.reportBareIgnores()

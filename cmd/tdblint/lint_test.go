@@ -39,7 +39,13 @@ func TestFixtureFindings(t *testing.T) {
 		`internal/chunkstore/ignore.go:21: [bare-ignore] //tdblint:ignore names unknown analyzer "spellcheck"`,
 		`internal/chunkstore/ignore.go:22: [err-taxonomy] fmt.Errorf without %w mints an unclassifiable error; wrap a package sentinel or the underlying cause`,
 		`internal/chunkstore/lockedio.go:21: [locked-io] (fixmod/internal/platform.File).WriteAt called while s.mu is held; move I/O and crypto off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
+		`internal/chunkstore/lockedio.go:21: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/lockedio.go:29: [locked-io] call reaches platform/sec work while s.mu is held (digest → (fixmod/internal/sec.Suite).Hash); move it off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
+		`internal/chunkstore/lockedio.go:39: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
+		`internal/chunkstore/lockedio.go:51: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
+		`internal/chunkstore/rawio.go:19: [raw-io-funnel] direct (fixmod/internal/platform.File).ReadAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
+		`internal/chunkstore/rawio.go:24: [raw-io-funnel] direct (fixmod/internal/platform.File).Truncate bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
+		`internal/chunkstore/rawio.go:29: [raw-io-funnel] direct (fixmod/internal/platform.File).Sync bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/taxonomy.go:14: [err-taxonomy] sentinel comparison err == ErrGone; use errors.Is so wrapped chains still match`,
 		`internal/chunkstore/taxonomy.go:24: [err-taxonomy] errors.New inside a function body mints an unclassifiable error; wrap a package sentinel with fmt.Errorf("...: %w", ErrX) instead`,
 		`internal/chunkstore/taxonomy.go:29: [err-taxonomy] fmt.Errorf without %w mints an unclassifiable error; wrap a package sentinel or the underlying cause`,
@@ -79,6 +85,7 @@ func TestFixturePerAnalyzer(t *testing.T) {
 		"secret-hygiene":  3,
 		"clock-injection": 2,
 		"unlock-path":     2,
+		"raw-io-funnel":   6, // rawio.go ×3, lockedio.go ×3 (raw WriteAt under a mutex is doubly wrong)
 	}
 	for name, want := range counts {
 		findings := runOn(t, filepath.Join("testdata", "src", "fixmod"), name)

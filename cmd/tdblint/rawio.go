@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// raw-io-funnel enforces the chunk store's I/O funnel: outside _test.go,
+// data-path calls on a platform File — ReadAt, WriteAt, Sync, Truncate —
+// must run inside the RetryPolicy funnel (a RetryPolicy.run argument: the
+// segmentSet readAt/writeAt/syncFile/truncate helpers and the superblock
+// I/O are built this way). A raw call bypasses both transient-error retry
+// and the write-behind tail buffer's read-through/flush invariants: it
+// could observe a stale suffix the buffer still holds, or write bytes the
+// rewind accounting does not know about. Close (and Size) are teardown and
+// metadata, not data-path I/O, and stay unrestricted.
+
+// rawIOMethods lists the platform.File methods that must stay in the funnel.
+var rawIOMethods = map[string]bool{
+	"ReadAt": true, "WriteAt": true, "Sync": true, "Truncate": true,
+}
+
+// rawIOFunnel analyzes one package (chunkstore scope only).
+func (l *linter) rawIOFunnel(pkg *Package) {
+	if !pathIn(pkg.Path, "internal/chunkstore") {
+		return
+	}
+	for _, file := range pkg.Files {
+		// Pass 1: the funnel regions — argument spans of RetryPolicy.run
+		// calls. Both function-literal arguments and method values
+		// (retry.run(file.Sync)) land inside these spans.
+		type span struct{ lo, hi token.Pos }
+		var funnels []span
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || fun.Sel.Name != "run" {
+				return true
+			}
+			if recv := namedRecv(pkg, fun.X); recv != nil && recv.Obj().Name() == "RetryPolicy" {
+				funnels = append(funnels, span{call.Lparen, call.Rparen})
+			}
+			return true
+		})
+		inFunnel := func(pos token.Pos) bool {
+			for _, s := range funnels {
+				if s.lo < pos && pos < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+		// Pass 2: raw File data-path selectors outside every funnel region.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !rawIOMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := namedRecv(pkg, sel.X)
+			if recv == nil || recv.Obj().Name() != "File" || recv.Obj().Pkg() == nil ||
+				!pathIn(recv.Obj().Pkg().Path(), "internal/platform") {
+				return true
+			}
+			if inFunnel(sel.Pos()) {
+				return true
+			}
+			l.report(sel.Pos(), "raw-io-funnel",
+				"direct (%s).%s bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)",
+				types.TypeString(recv, nil), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// namedRecv resolves an expression's type to its named type, unwrapping one
+// pointer; nil when the expression has no (named) type.
+func namedRecv(pkg *Package, x ast.Expr) *types.Named {
+	tv, ok := pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,48 @@
+// rawio.go — raw-io-funnel fixture: data-path calls on a platform File
+// (ReadAt/WriteAt/Sync/Truncate) must run inside the RetryPolicy funnel.
+package chunkstore
+
+import "fixmod/internal/platform"
+
+// RetryPolicy is the fixture stand-in for the retry funnel.
+type RetryPolicy struct{}
+
+func (RetryPolicy) run(fn func() error) error { return fn() }
+
+type rawStore struct {
+	file  platform.File
+	retry RetryPolicy
+}
+
+// rawRead bypasses the funnel: positive.
+func (s *rawStore) rawRead(p []byte) {
+	s.file.ReadAt(p, 0)
+}
+
+// rawTruncate bypasses the funnel: positive.
+func (s *rawStore) rawTruncate() {
+	s.file.Truncate(0)
+}
+
+// rawSync bypasses the funnel as a method value too: positive.
+func (s *rawStore) rawSync() func() error {
+	return s.file.Sync
+}
+
+// funneledWrite retries through the funnel: negative.
+func (s *rawStore) funneledWrite(p []byte) error {
+	return s.retry.run(func() error {
+		_, err := s.file.WriteAt(p, 0)
+		return err
+	})
+}
+
+// funneledSync passes the method value into the funnel: negative.
+func (s *rawStore) funneledSync() error {
+	return s.retry.run(s.file.Sync)
+}
+
+// closeFile: Close is teardown, not data-path I/O: negative.
+func (s *rawStore) closeFile() error {
+	return s.file.Close()
+}

@@ -1,9 +1,12 @@
 // Package platform is the fixture stand-in for the untrusted-store layer:
 // its import path suffix (internal/platform) makes its methods locked-io
-// sinks.
+// sinks and its File the raw-io-funnel target type.
 package platform
 
 type File struct{}
 
+func (File) ReadAt(p []byte, off int64) (int, error)  { return len(p), nil }
 func (File) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
 func (File) Sync() error                              { return nil }
+func (File) Truncate(size int64) error                { return nil }
+func (File) Close() error                             { return nil }

@@ -101,24 +101,43 @@ func decodeSuperSlot(slot []byte, suite sec.Suite) (superblock, bool) {
 	return sb, true
 }
 
-// readSuperblock loads and authenticates the superblock, returning
-// errNoSuperblock for a fresh store.
-func (s *Store) readSuperblock() (superblock, error) {
+// superblockFile returns the cached superblock file handle, opening (and,
+// with create, creating) it on first use. The handle stays open for the life
+// of the store — Open/Create plus Close per superblock access would cost two
+// syscalls and one extra transient-fault window on every checkpoint — and is
+// closed in Store.Close.
+func (s *Store) superblockFile(create bool) (platform.File, error) {
+	if s.superFile != nil {
+		return s.superFile, nil
+	}
 	var f platform.File
 	attempts, err := s.cfg.Retry.run(func() error {
 		var oerr error
 		f, oerr = s.cfg.Store.Open(superblockName)
+		if create && errors.Is(oerr, platform.ErrNotFound) {
+			f, oerr = s.cfg.Store.Create(superblockName)
+		}
 		return oerr
 	})
-	if errors.Is(err, platform.ErrNotFound) {
-		return superblock{}, errNoSuperblock
-	}
 	if err != nil {
-		return superblock{}, ioErr("open", superblockName, 0, -1, attempts, err)
+		if !create && errors.Is(err, platform.ErrNotFound) {
+			return nil, errNoSuperblock
+		}
+		return nil, ioErr("open", superblockName, 0, -1, attempts, err)
 	}
-	defer f.Close()
+	s.superFile = f
+	return f, nil
+}
+
+// readSuperblock loads and authenticates the superblock, returning
+// errNoSuperblock for a fresh store.
+func (s *Store) readSuperblock() (superblock, error) {
+	f, err := s.superblockFile(false)
+	if err != nil {
+		return superblock{}, err
+	}
 	buf := make([]byte, 2*superSlotSize)
-	attempts, err = s.cfg.Retry.run(func() error {
+	attempts, err := s.cfg.Retry.run(func() error {
 		if _, rerr := f.ReadAt(buf, 0); rerr != nil && rerr != io.EOF {
 			return rerr
 		}
@@ -170,21 +189,12 @@ func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64) error {
 	copy(slot[4:], payload)
 	copy(slot[4+len(payload):], mac)
 
-	var f platform.File
-	attempts, err := s.cfg.Retry.run(func() error {
-		var oerr error
-		f, oerr = s.cfg.Store.Open(superblockName)
-		if errors.Is(oerr, platform.ErrNotFound) {
-			f, oerr = s.cfg.Store.Create(superblockName)
-		}
-		return oerr
-	})
+	f, err := s.superblockFile(true)
 	if err != nil {
-		return ioErr("open", superblockName, 0, -1, attempts, err)
+		return err
 	}
-	defer f.Close()
 	off := int64(s.superSeq%2) * superSlotSize
-	attempts, err = s.cfg.Retry.run(func() error {
+	attempts, err := s.cfg.Retry.run(func() error {
 		_, werr := f.WriteAt(slot, off)
 		return werr
 	})

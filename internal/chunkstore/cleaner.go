@@ -63,6 +63,12 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 	if err := s.completePendingRewindLocked(); err != nil {
 		return err
 	}
+	// Cleaning is a flush point: evacuation copies records between segments
+	// and frees victims, which is simplest to reason about (and to scrub
+	// afterwards) when the tail holds no buffered suffix.
+	if err := s.segs.flushLocked(); err != nil {
+		return err
+	}
 	var victims []uint64
 	chosen := map[uint64]bool{}
 	var freedPlanned int64

@@ -2,12 +2,32 @@ package chunkstore
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 	"time"
 
 	"tdb/internal/lru"
 	"tdb/internal/platform"
 	"tdb/internal/sec"
 )
+
+// defaultWriteBehind resolves the write-behind default once per process: the
+// TDB_WRITEBEHIND environment variable when set (the CI fault suites run with
+// it both on and off so neither mode rots), otherwise 256 KiB.
+var defaultWriteBehind = sync.OnceValue(func() int {
+	switch v := os.Getenv("TDB_WRITEBEHIND"); v {
+	case "", "on", "true":
+		return 256 << 10
+	case "off", "false", "0":
+		return -1
+	default:
+		if n, err := strconv.Atoi(v); err == nil && n != 0 {
+			return n
+		}
+		return 256 << 10
+	}
+})
 
 // GroupCommitConfig configures the durable-commit coordinator. When enabled,
 // concurrent durable commits coalesce into group-commit rounds: one log sync
@@ -89,6 +109,16 @@ type Config struct {
 	// DisableAutoCheckpoint turns off the automatic residual-size
 	// checkpoint trigger.
 	DisableAutoCheckpoint bool
+	// WriteBehind caps the in-memory tail buffer that batches record appends
+	// into one large WriteAt per flush point (group-commit round sync, cap
+	// overflow, segment seal, checkpoint, cleaning, scrub, snapshot, close).
+	// 0 selects the default: the TDB_WRITEBEHIND environment variable when
+	// set ("off"/"0"/"false" disables, an integer sets the cap in bytes),
+	// otherwise 256 KiB. A negative value disables buffering, restoring the
+	// WriteAt-per-record behavior. Durability is unaffected either way —
+	// every fsync flushes first, and unflushed bytes of a crash are exactly
+	// the nondurable suffix recovery already discards.
+	WriteBehind int
 	// Retry bounds how raw segment and superblock I/O retries transient
 	// storage errors (platform.ErrTransient). Zero fields select defaults:
 	// 4 attempts with 1ms backoff doubling to a 50ms cap.
@@ -140,6 +170,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CommitWorkers < 0 {
 		return fmt.Errorf("%w: commit workers %d negative", ErrUsage, c.CommitWorkers)
+	}
+	if c.WriteBehind == 0 {
+		c.WriteBehind = defaultWriteBehind()
 	}
 	if c.GroupCommit.MaxDelay < 0 {
 		return fmt.Errorf("%w: group commit delay %v negative", ErrUsage, c.GroupCommit.MaxDelay)

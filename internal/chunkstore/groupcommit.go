@@ -258,8 +258,15 @@ func (s *Store) gcSnapshotRound() (tasks []syncTask, seq uint64, done bool, err 
 		s.noteHardenedLocked(s.commitSeq)
 		return nil, 0, true, nil
 	}
+	tasks, err = s.segs.syncSnapshotLocked()
+	if err != nil {
+		// The write-behind flush failed before anything was snapshotted:
+		// groupPending stays set so a later round (or Close) retries the
+		// flush — the buffer is intact.
+		return nil, 0, true, err
+	}
 	s.groupPending = false
-	return s.segs.syncSnapshotLocked(), s.commitSeq, false, nil
+	return tasks, s.commitSeq, false, nil
 }
 
 // gcFinishRound publishes an off-mutex sync's outcome: it releases the

@@ -71,6 +71,12 @@ func (s *Store) Scrub() (*ScrubReport, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	// Scrub is a flush point: it audits what the untrusted store actually
+	// holds, so the write-behind buffer must reach the file first — otherwise
+	// the read-through buffer would vouch for bytes the device never saw.
+	if err := s.segs.flushLocked(); err != nil {
+		return nil, err
+	}
 	report := &ScrubReport{}
 	if err := s.scrubWalkLocked(s.lm.root, report); err != nil {
 		return nil, err

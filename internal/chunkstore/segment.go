@@ -61,6 +61,15 @@ type segment struct {
 // funnels through the retrying helpers below (readAt, writeAt, syncFile,
 // truncate): transient device errors are absorbed within the retry policy's
 // bound, and failures surface as *IOError with segment and offset context.
+//
+// With a write-behind cap configured, appends land in an in-memory tail
+// buffer instead of issuing one WriteAt syscall per record; the buffer is
+// flushed as a single WriteAt at well-defined flush points (group-commit
+// round snapshot, inline harden, cap overflow, segment seal, checkpoint,
+// cleaning, scrub, snapshot, close). Reads transparently serve the buffered
+// suffix from memory, so the location map, cleaner, and scrub never observe
+// a torn view. seg.size is always the LOGICAL size (flushed + buffered);
+// only wbOff tracks what has physically reached the file.
 type segmentSet struct {
 	store platform.UntrustedStore
 	segs  map[uint64]*segment
@@ -70,17 +79,82 @@ type segmentSet struct {
 	next uint64
 	// retry bounds transient-error retries on raw segment I/O.
 	retry RetryPolicy
+
+	// wbCap is the write-behind buffer capacity; <= 0 disables buffering
+	// and restores the WriteAt-per-record behavior.
+	wbCap int
+	// wbSeg is the segment owning the buffered suffix (the tail at the time
+	// of the first buffered append). nil until the first buffered append.
+	wbSeg *segment
+	// wbOff is wbSeg's flushed (physical) size: the buffer holds the bytes
+	// [wbOff, wbSeg.size). Invariant whenever wb is empty: wbOff == wbSeg.size,
+	// unless wbSeg was sealed and the tail moved on.
+	wbOff int64
+	// wb is the buffered suffix of wbSeg.
+	wb []byte
+	// wbDirty, when nonzero, is the physical high-water mark a FAILED flush
+	// may have reached: a partially applied WriteAt can leave stale record
+	// bytes on disk in [wbOff, wbDirty) that the buffer no longer mirrors
+	// after a rewind. A rewind below wbDirty must therefore truncate
+	// physically — otherwise a crash could expose a stale suffix that
+	// recovery's tail scan might misparse as live records.
+	wbDirty int64
 }
 
-func newSegmentSet(store platform.UntrustedStore, retry RetryPolicy) *segmentSet {
+func newSegmentSet(store platform.UntrustedStore, retry RetryPolicy, writeBehind int) *segmentSet {
 	retry.fillDefaults()
-	return &segmentSet{store: store, segs: make(map[uint64]*segment), next: 1, retry: retry}
+	return &segmentSet{store: store, segs: make(map[uint64]*segment), next: 1, retry: retry, wbCap: writeBehind}
 }
 
-// readAt reads into p at off of seg's file, retrying transient errors. A
-// short read (io.EOF) leaves the unread tail of p zeroed, matching the
-// previous direct-ReadAt behavior.
+// flushLocked writes the buffered tail suffix to its segment file as one
+// WriteAt. On failure the buffer is left intact (wbOff does not advance), so
+// the flush may be retried; rewriting the same bytes at the same offset is
+// idempotent. Caller holds the store mutex (or runs single-threaded during
+// Open/Close), so no append can race the buffer swap.
+func (ss *segmentSet) flushLocked() error {
+	if len(ss.wb) == 0 {
+		return nil
+	}
+	if err := ss.writeAt(ss.wbSeg, ss.wb, ss.wbOff); err != nil {
+		if end := ss.wbOff + int64(len(ss.wb)); end > ss.wbDirty {
+			ss.wbDirty = end
+		}
+		return err
+	}
+	ss.wbOff += int64(len(ss.wb))
+	ss.wb = ss.wb[:0]
+	if ss.wbOff >= ss.wbDirty {
+		// Every byte a failed attempt may have scribbled is now overwritten
+		// with live log content.
+		ss.wbDirty = 0
+	}
+	return nil
+}
+
+// readAt reads into p at off of seg's logical content, retrying transient
+// errors and serving any suffix still in the write-behind buffer from
+// memory. A short read (io.EOF) leaves the unread tail of p zeroed, matching
+// the previous direct-ReadAt behavior.
 func (ss *segmentSet) readAt(seg *segment, p []byte, off int64) error {
+	if seg == ss.wbSeg && len(ss.wb) > 0 && off+int64(len(p)) > ss.wbOff {
+		var fromFile int64
+		if off < ss.wbOff {
+			fromFile = ss.wbOff - off
+			if err := ss.fileReadAt(seg, p[:fromFile], off); err != nil {
+				return err
+			}
+		}
+		if start := off + fromFile - ss.wbOff; start < int64(len(ss.wb)) {
+			copy(p[fromFile:], ss.wb[start:])
+		}
+		return nil
+	}
+	return ss.fileReadAt(seg, p, off)
+}
+
+// fileReadAt is the raw retrying file read under readAt's buffer
+// read-through.
+func (ss *segmentSet) fileReadAt(seg *segment, p []byte, off int64) error {
 	attempts, err := ss.retry.run(func() error {
 		if _, err := seg.file.ReadAt(p, off); err != nil && err != io.EOF {
 			return err
@@ -127,8 +201,13 @@ func (ss *segmentSet) truncate(seg *segment, size int64) error {
 	return nil
 }
 
-// create opens a new tail segment.
+// create opens a new tail segment. Sealing is a flush point: the old tail's
+// buffered suffix must be on disk before the segment stops accepting
+// appends, so sealed segments never hold buffered bytes.
 func (ss *segmentSet) create() (*segment, error) {
+	if err := ss.flushLocked(); err != nil {
+		return nil, err
+	}
 	num := ss.next
 	ss.next++
 	var f platform.File
@@ -213,6 +292,14 @@ func (ss *segmentSet) free(num uint64) error {
 	}
 	if seg == ss.tail {
 		return fmt.Errorf("%w: cannot free tail segment %d", ErrTampered, num)
+	}
+	if seg == ss.wbSeg {
+		// Discard any buffered suffix with its segment (rewind freeing the
+		// segments a failed commit created).
+		ss.wb = ss.wb[:0]
+		ss.wbSeg = nil
+		ss.wbOff = 0
+		ss.wbDirty = 0
 	}
 	if seg.syncing {
 		// An off-mutex group-commit sync holds this file handle; closing it
@@ -299,13 +386,45 @@ func (ss *segmentSet) rewind(m tailMark) error {
 			}
 		}
 	}
+	if target == ss.wbSeg && len(ss.wb) > 0 && target.size > m.size && m.size >= ss.wbOff {
+		// The discarded suffix lies entirely in the write-behind buffer:
+		// truncate in memory, no syscall — unless a failed flush may have
+		// scribbled stale record bytes on disk past the mark, in [wbOff,
+		// wbDirty). Those are no longer mirrored by the trimmed buffer, so
+		// the file must be cut back to its last known-good physical size
+		// (wbOff, never the mark — bytes in [wbOff, m.size) live only in
+		// the buffer and a truncate to m.size would zero-fill them on
+		// disk). Truncate before trimming so a failed truncate mutates
+		// nothing and rewind stays retryable with the same mark.
+		if ss.wbDirty > m.size {
+			if err := ss.truncate(target, ss.wbOff); err != nil {
+				return fmt.Errorf("chunkstore: truncating aborted commit tail: %w", err)
+			}
+			ss.wbDirty = 0
+		}
+		ss.wb = ss.wb[:m.size-ss.wbOff]
+		target.size = m.size
+		target.synced = false
+		target.gen++
+	}
 	if target.size > m.size {
+		if target == ss.wbSeg {
+			// The mark lies below the buffered region: the whole buffer is
+			// part of the discard, along with the flushed bytes above the
+			// mark. Any failed-flush scribbles sit at or beyond wbOff ≥
+			// m.size and fall to the truncate below.
+			ss.wb = ss.wb[:0]
+		}
 		if err := ss.truncate(target, m.size); err != nil {
 			return fmt.Errorf("chunkstore: truncating aborted commit tail: %w", err)
 		}
 		target.size = m.size
 		target.synced = false
 		target.gen++
+		if target == ss.wbSeg {
+			ss.wbOff = m.size
+			ss.wbDirty = 0
+		}
 	}
 	target.sealed = false
 	ss.next = m.next
@@ -329,6 +448,26 @@ func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {
 	}
 	tail := ss.tail
 	loc := Location{Seg: tail.num, Off: uint32(tail.size), Len: uint32(len(rec))}
+	if ss.wbCap > 0 {
+		if ss.wbSeg != tail {
+			// Adopt the current tail. The buffer is empty here: create()
+			// flushes before sealing, and free/rewind drop or flush it.
+			ss.wbSeg = tail
+			ss.wbOff = tail.size
+		}
+		ss.wb = append(ss.wb, rec...)
+		tail.size += int64(len(rec))
+		tail.synced = false
+		tail.gen++
+		if len(ss.wb) >= ss.wbCap {
+			// Cap overflow. On failure the record stays buffered and logically
+			// appended; the caller's rewind trims it from memory.
+			if err := ss.flushLocked(); err != nil {
+				return Location{}, err
+			}
+		}
+		return loc, nil
+	}
 	if err := ss.writeAt(tail, rec, tail.size); err != nil {
 		return Location{}, err
 	}
@@ -366,8 +505,12 @@ func (ss *segmentSet) readRecord(loc Location) (byte, []byte, error) {
 	return typ, buf[recordHeaderSize:], nil
 }
 
-// syncDirty syncs every segment with unsynced appends.
+// syncDirty syncs every segment with unsynced appends. Buffered bytes are
+// flushed first — an fsync only hardens what has reached the file.
 func (ss *segmentSet) syncDirty() error {
+	if err := ss.flushLocked(); err != nil {
+		return err
+	}
 	// Sync in segment order for determinism.
 	for _, n := range ss.numbers() {
 		seg := ss.segs[n]
@@ -387,10 +530,14 @@ type syncTask struct {
 	gen uint64
 }
 
-// syncSnapshotLocked collects every unsynced segment, marking it in-flight
-// so the cleaner defers closing its file handle. Caller holds the store
-// mutex.
-func (ss *segmentSet) syncSnapshotLocked() []syncTask {
+// syncSnapshotLocked flushes the write-behind buffer — the off-mutex fsync
+// can only harden bytes that have reached the file — then collects every
+// unsynced segment, marking it in-flight so the cleaner defers closing its
+// file handle. Caller holds the store mutex.
+func (ss *segmentSet) syncSnapshotLocked() ([]syncTask, error) {
+	if err := ss.flushLocked(); err != nil {
+		return nil, err
+	}
 	var tasks []syncTask
 	for _, n := range ss.numbers() {
 		seg := ss.segs[n]
@@ -399,7 +546,7 @@ func (ss *segmentSet) syncSnapshotLocked() []syncTask {
 			tasks = append(tasks, syncTask{seg: seg, gen: seg.gen})
 		}
 	}
-	return tasks
+	return tasks, nil
 }
 
 // syncTasks fsyncs a snapshot outside the store mutex. Concurrent appends

@@ -33,6 +33,12 @@ func (s *Store) TakeSnapshot() (*Snapshot, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	// Snapshots are a flush point: backup streaming reads the snapshot over
+	// many mutex acquisitions, and flushing now means those reads never
+	// depend on the tail buffer's state drifting underneath the snapshot.
+	if err := s.segs.flushLocked(); err != nil {
+		return nil, err
+	}
 	root := s.lm.markShared()
 	snap := &Snapshot{
 		cs:       s,

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tdb/internal/platform"
 	"tdb/internal/sec"
 )
 
@@ -74,6 +75,10 @@ type Store struct {
 	residualBytes int64
 	// superSeq numbers superblock writes for the ping-pong slots.
 	superSeq uint64
+	// superFile is the cached superblock file handle, opened lazily by
+	// readSuperblock/writeSuperblock and closed in Close. Accessed only under
+	// mu (or single-threaded during Open).
+	superFile platform.File
 	// chunkCount tracks allocated-and-written chunks.
 	chunkCount int64
 	// snapshots tracks open snapshots; the cleaner must not free segments
@@ -110,7 +115,7 @@ func Open(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:        cfg,
 		suite:      cfg.Suite,
-		segs:       newSegmentSet(cfg.Store, cfg.Retry),
+		segs:       newSegmentSet(cfg.Store, cfg.Retry, cfg.WriteBehind),
 		snapshots:  make(map[*Snapshot]struct{}),
 		quarantine: make(map[ChunkID]string),
 		gc:         newGroupCommitter(),
@@ -123,12 +128,22 @@ func Open(cfg Config) (*Store, error) {
 		s.counterVal = v
 	}
 	s.rcache = newReadCache(cfg.ReadCacheBytes)
+	// readSuperblock caches the superblock handle on s.superFile; failed
+	// opens must release it (successful opens keep it until Store.Close).
+	opened := false
+	defer func() {
+		if !opened && s.superFile != nil {
+			s.superFile.Close()
+			s.superFile = nil
+		}
+	}()
 	sb, err := s.readSuperblock()
 	if errors.Is(err, errNoSuperblock) {
 		if err := s.format(); err != nil {
 			return nil, err
 		}
 		s.stampCtr = s.counterVal
+		opened = true
 		return s, nil
 	}
 	if err != nil {
@@ -150,6 +165,7 @@ func Open(cfg Config) (*Store, error) {
 	// Nothing above the burned range is reserved yet; the first encryption
 	// after open extends the reservation before using its generation.
 	s.ivGenLimit.Store(s.ivGen.Load())
+	opened = true
 	return s, nil
 }
 
@@ -261,13 +277,34 @@ func (s *Store) Close() error {
 			err = cerr
 		}
 	}
+	// Close is a flush point: nondurable appends still in the write-behind
+	// buffer reach the file (unsynced, matching the pre-buffer behavior of
+	// nondurable commits at shutdown).
+	if ferr := s.segs.flushLocked(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if cerr := s.segs.closeAll(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if cerr := s.closeSuperFileLocked(); cerr != nil && err == nil {
 		err = cerr
 	}
 	s.closed.Store(true)
 	// Purge last: once the cache is empty, every Read falls through to the
 	// mutex path and observes the closed flag.
 	s.rcache.purge()
+	return err
+}
+
+// closeSuperFileLocked releases the cached superblock handle.
+//
+//tdblint:serial Close tears down the handle under the store mutex so no checkpoint can race the shutdown
+func (s *Store) closeSuperFileLocked() error {
+	if s.superFile == nil {
+		return nil
+	}
+	err := s.superFile.Close()
+	s.superFile = nil
 	return err
 }
 

@@ -76,6 +76,13 @@ type Options struct {
 	DisableAutoClean      bool
 	DisableAutoCheckpoint bool
 
+	// WriteBehind caps the chunk store's in-memory tail buffer, which
+	// batches log appends into one large write per flush point. 0 selects
+	// the default (TDB_WRITEBEHIND env override, else 256 KiB); negative
+	// disables buffering. Durability guarantees are unchanged either way
+	// (see chunkstore.Config.WriteBehind).
+	WriteBehind int
+
 	// Retry governs how transient storage I/O errors are retried (zero
 	// fields select the defaults; see chunkstore.RetryPolicy).
 	Retry chunkstore.RetryPolicy
@@ -210,6 +217,7 @@ func (db *DB) chunkConfig() chunkstore.Config {
 		CachePool:             db.pool,
 		DisableAutoClean:      db.opts.DisableAutoClean,
 		DisableAutoCheckpoint: db.opts.DisableAutoCheckpoint,
+		WriteBehind:           db.opts.WriteBehind,
 		Retry:                 db.opts.Retry,
 		GroupCommit:           db.opts.GroupCommit,
 	}

@@ -213,7 +213,7 @@ func benchCommitParallel(b *testing.B, group bool, workers int) {
 	}
 
 	b.SetBytes(8 << 10)
-	syncsBefore := store.Stats().Snapshot().SyncOps
+	before := store.Stats().Snapshot()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -242,7 +242,10 @@ func benchCommitParallel(b *testing.B, group bool, workers int) {
 	}
 	wg.Wait()
 	b.StopTimer()
-	b.ReportMetric(float64(store.Stats().Snapshot().SyncOps-syncsBefore)/float64(b.N), "syncs/op")
+	delta := store.Stats().Snapshot().Sub(before)
+	b.ReportMetric(float64(delta.SyncOps)/float64(b.N), "syncs/op")
+	b.ReportMetric(float64(delta.WriteOps)/float64(b.N), "writeops/op")
+	b.ReportMetric(float64(delta.BytesWritten)/float64(b.N), "writebytes/op")
 	for _, err := range errs {
 		if err != nil {
 			b.Fatal(err)

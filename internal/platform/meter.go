@@ -9,6 +9,20 @@ type IOCounts struct {
 	ReadOps      int64
 	WriteOps     int64
 	SyncOps      int64
+	TruncateOps  int64
+}
+
+// Sub returns the counter deltas c - o: the I/O that happened between
+// snapshot o (earlier) and snapshot c (later).
+func (c IOCounts) Sub(o IOCounts) IOCounts {
+	return IOCounts{
+		BytesRead:    c.BytesRead - o.BytesRead,
+		BytesWritten: c.BytesWritten - o.BytesWritten,
+		ReadOps:      c.ReadOps - o.ReadOps,
+		WriteOps:     c.WriteOps - o.WriteOps,
+		SyncOps:      c.SyncOps - o.SyncOps,
+		TruncateOps:  c.TruncateOps - o.TruncateOps,
+	}
 }
 
 // IOStats accumulates byte and operation counts for an UntrustedStore. The
@@ -50,6 +64,12 @@ func (s *IOStats) addWrite(n int) {
 func (s *IOStats) addSync() {
 	s.mu.Lock()
 	s.c.SyncOps++
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addTruncate() {
+	s.mu.Lock()
+	s.c.TruncateOps++
 	s.mu.Unlock()
 }
 
@@ -113,8 +133,12 @@ func (f *meterFile) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-func (f *meterFile) Size() (int64, error)      { return f.inner.Size() }
-func (f *meterFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *meterFile) Size() (int64, error) { return f.inner.Size() }
+
+func (f *meterFile) Truncate(size int64) error {
+	f.stats.addTruncate()
+	return f.inner.Truncate(size)
+}
 
 func (f *meterFile) Sync() error {
 	f.stats.addSync()

@@ -44,7 +44,10 @@ import (
 // Scrub, Repair.
 type DB = core.DB
 
-// Options configures Open and Restore.
+// Options configures Open and Restore. Performance knobs surfaced from the
+// chunk store include Options.GroupCommit (durable-commit coalescing) and
+// Options.WriteBehind (tail-buffer batching of log appends; the
+// TDB_WRITEBEHIND environment variable overrides the default cap).
 type Options = core.Options
 
 // Open opens or creates a database, performing recovery and tamper
