@@ -15,11 +15,15 @@ import (
 	"sync"
 	"time"
 
+	//tdblint:ignore secret-hygiene deterministic benchmark workload generation; no secret material
+	"math/rand"
+
 	"tdb/internal/chunkstore"
 	"tdb/internal/lru"
 	"tdb/internal/objectstore"
 	"tdb/internal/platform"
 	"tdb/internal/sec"
+	"tdb/internal/tpcb"
 )
 
 // objstoreResult is one configuration's measurements, JSON-shaped for
@@ -44,6 +48,21 @@ type objstoreReport struct {
 	Suite       string           `json:"suite"`
 	PayloadSize int              `json:"payload_bytes"`
 	Runs        []objstoreResult `json:"runs"`
+	// ReadRuns records the snapshot-read experiments: read throughput as a
+	// function of reader count with a writer committing concurrently, for a
+	// uniform read-heavy TPC-B mix and a Zipfian hot-key mix.
+	ReadRuns []readRunResult `json:"read_runs,omitempty"`
+}
+
+// readRunResult is one snapshot-read configuration's measurements.
+type readRunResult struct {
+	Workload            string  `json:"workload"`
+	Readers             int     `json:"readers"`
+	Reads               int     `json:"reads"`
+	ReadsPerSec         float64 `json:"reads_per_sec"`
+	WriterCommitsPerSec float64 `json:"writer_commits_per_sec"`
+	ReadP50Micros       float64 `json:"read_p50_us"`
+	ReadP99Micros       float64 `json:"read_p99_us"`
 }
 
 // benchBlob is the experiment's persistent class: a raw payload.
@@ -234,6 +253,152 @@ func runObjstoreConfig(v objstoreVariant, workers, commitsPer int) (objstoreResu
 	}, nil
 }
 
+// readWorkloads names the snapshot-read mixes. "read-heavy" draws row ids
+// uniformly (the read-mostly TPC-B variant); "zipfian" draws them from a
+// Zipf distribution so readers and the writer pile onto the same hot keys —
+// the regime where 2PL readers used to serialize against the writer or
+// abort on lock timeouts, and where version chains actually grow.
+const (
+	readHeavyWorkload = "read-heavy"
+	zipfianWorkload   = "zipfian"
+)
+
+// readPicker returns a per-goroutine Op source for a workload.
+func readPicker(workload string, seed int64, scale tpcb.Scale) func() tpcb.Op {
+	rng := rand.New(rand.NewSource(seed))
+	if workload != zipfianWorkload {
+		gen := tpcb.NewGenerator(seed, scale)
+		return gen.Next
+	}
+	zAcc := rand.NewZipf(rng, 1.2, 1, uint64(scale.Accounts-1))
+	zTel := rand.NewZipf(rng, 1.2, 1, uint64(scale.Tellers-1))
+	zBr := rand.NewZipf(rng, 1.2, 1, uint64(scale.Branches-1))
+	return func() tpcb.Op {
+		return tpcb.Op{
+			Account: int32(zAcc.Uint64()),
+			Teller:  int32(zTel.Uint64()),
+			Branch:  int32(zBr.Uint64()),
+			Delta:   int64(rng.Intn(1999999) - 999999),
+		}
+	}
+}
+
+// runReadWorkload measures snapshot-read throughput for one reader count:
+// `readers` goroutines run read-only TPC-B transactions (MVCC snapshots, no
+// locks) while one writer goroutine commits read-write TPC-B transactions
+// continuously. The driver disables 2PL (single write stream), which is
+// exactly the point: snapshot readers need no locks at all.
+func runReadWorkload(d *tpcb.TDBDriver, workload string, readers, readsPer int) (readRunResult, error) {
+	scale := tpcb.SmallScale
+	stop := make(chan struct{})
+	var writerCommits int64
+	var writerErr error
+	var wgWriter sync.WaitGroup
+	wgWriter.Add(1)
+	go func() {
+		defer wgWriter.Done()
+		gen := tpcb.NewGenerator(99, scale)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := d.Run(gen.Next()); err != nil {
+				writerErr = err
+				return
+			}
+			writerCommits++
+		}
+	}()
+
+	lats := make([][]time.Duration, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			pick := readPicker(workload, int64(1000+r), scale)
+			lats[r] = make([]time.Duration, 0, readsPer)
+			for i := 0; i < readsPer; i++ {
+				t0 := time.Now()
+				if err := d.RunReadOnly(pick()); err != nil {
+					errs[r] = err
+					return
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	wgWriter.Wait()
+	if writerErr != nil {
+		return readRunResult{}, writerErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return readRunResult{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
+	}
+	return readRunResult{
+		Workload:            workload,
+		Readers:             readers,
+		Reads:               len(all),
+		ReadsPerSec:         float64(len(all)) / elapsed.Seconds(),
+		WriterCommitsPerSec: float64(writerCommits) / elapsed.Seconds(),
+		ReadP50Micros:       pct(0.50),
+		ReadP99Micros:       pct(0.99),
+	}, nil
+}
+
+// runSnapshotReads sweeps reader counts for both read workloads and appends
+// the rows to the report.
+func runSnapshotReads(report *objstoreReport, readsPer int) error {
+	fmt.Println("== Snapshot reads: scaling with reader count under a concurrent writer ==")
+	for _, workload := range []string{readHeavyWorkload, zipfianWorkload} {
+		store := platform.NewMemStore()
+		d, err := tpcb.NewTDBDriverSuite(store, "aes-sha256", 0.60)
+		if err != nil {
+			return err
+		}
+		if err := d.Load(tpcb.SmallScale); err != nil {
+			d.Close()
+			return err
+		}
+		for _, readers := range []int{1, 2, 4, 8} {
+			res, err := runReadWorkload(d, workload, readers, readsPer)
+			if err != nil {
+				d.Close()
+				return fmt.Errorf("snapshot reads %s x%d: %w", workload, readers, err)
+			}
+			report.ReadRuns = append(report.ReadRuns, res)
+			fmt.Printf("  %-12s %2d readers %9.0f reads/s   p50 %7.1fµs   p99 %8.1fµs   writer %7.0f commits/s\n",
+				res.Workload, res.Readers, res.ReadsPerSec, res.ReadP50Micros, res.ReadP99Micros, res.WriterCommitsPerSec)
+		}
+		if err := d.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
 // runObjstore runs the object-store commit experiment and, with jsonOut,
 // writes BENCH_objstore.json.
 func runObjstore(workers, txns int, jsonOut bool) error {
@@ -251,6 +416,9 @@ func runObjstore(workers, txns int, jsonOut bool) error {
 			res.Config, res.OpsPerSec, res.P50Micros, res.P99Micros, res.SyncsPerCommit, res.WritesPerCommit, res.WriteBytesPerCommit)
 	}
 	fmt.Println()
+	if err := runSnapshotReads(&report, txns/workers); err != nil {
+		return err
+	}
 	if jsonOut {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -18,6 +18,14 @@ import (
 // graph, and any path that reaches the sec crypto suite or the platform
 // storage interfaces is reported at the outermost lock-held call.
 //
+// A serialization point only stops the walk within its own package: a
+// *Locked name vouches for running under that package's own mutex, not the
+// caller's. The MVCC snapshot read path is why this matters — resolving a
+// version under versionTable.mu must never fall back into the chunk store
+// (whose Read funnels into readLocked and from there to platform I/O);
+// lock-held chains that cross a package boundary are therefore walked
+// through the callee package's serialization points down to the sink.
+//
 // Scope: the engine layers. internal/platform is excluded (its wrappers
 // take micro-mutexes around the very I/O they instrument), as is
 // internal/bdb (a deliberately serial compatibility shim).
@@ -37,7 +45,13 @@ var sinkWhitelist = map[string]bool{
 	"Name":        true, "HashSize": true, "MACSize": true, "Overhead": true,
 }
 
-type declKey = *types.Func
+// declKey memoizes sink reachability per (function, origin package): the
+// same callee may stop at a serialization point for an intra-package walk
+// yet be walked through it when the locked region lives in another package.
+type declKey struct {
+	fn     *types.Func
+	origin string
+}
 
 // sinkHit describes the first platform/sec sink found through a callee,
 // as a human-readable call chain.
@@ -236,21 +250,25 @@ func isSink(pkg *Package, call *ast.CallExpr, fn *types.Func) bool {
 }
 
 // reachesSink walks the module call graph from fn looking for a
-// platform/sec sink, memoized, stopping at declared serialization points.
-// In-progress cycles resolve to "no sink" for the back edge.
-func (l *linter) reachesSink(fn *types.Func) *sinkHit {
-	if hit, done := l.reach[fn]; done {
+// platform/sec sink, memoized per origin package, stopping at declared
+// serialization points — but only those declared in the origin package
+// itself, where the convention's "runs with the store mutex held" claim
+// actually refers to the lock the caller is holding. In-progress cycles
+// resolve to "no sink" for the back edge.
+func (l *linter) reachesSink(fn *types.Func, origin string) *sinkHit {
+	key := declKey{fn: fn, origin: origin}
+	if hit, done := l.reach[key]; done {
 		return hit
 	}
-	l.reach[fn] = nil // cycle guard
+	l.reach[key] = nil // cycle guard
 	decl, inModule := l.mod.funcDecls[fn]
 	if !inModule {
 		return nil
 	}
-	if l.isSerialDecl(decl) {
+	declPkg := l.mod.declPkg[decl]
+	if declPkg.Path == origin && l.isSerialDecl(decl) {
 		return nil
 	}
-	declPkg := l.mod.declPkg[decl]
 	var hit *sinkHit
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		if hit != nil {
@@ -268,13 +286,13 @@ func (l *linter) reachesSink(fn *types.Func) *sinkHit {
 			hit = &sinkHit{chain: fn.Name() + " → " + callee.FullName()}
 			return false
 		}
-		if sub := l.reachesSink(callee); sub != nil {
+		if sub := l.reachesSink(callee, origin); sub != nil {
 			hit = &sinkHit{chain: fn.Name() + " → " + sub.chain}
 			return false
 		}
 		return true
 	})
-	l.reach[fn] = hit
+	l.reach[key] = hit
 	return hit
 }
 
@@ -329,10 +347,11 @@ func (l *linter) lockedIO(pkg *Package) {
 						callee.FullName(), held)
 					return true
 				}
-				if decl, inModule := l.mod.funcDecls[callee]; inModule && l.isSerialDecl(decl) {
+				if decl, inModule := l.mod.funcDecls[callee]; inModule &&
+					l.mod.declPkg[decl].Path == pkg.Path && l.isSerialDecl(decl) {
 					return true
 				}
-				if hit := l.reachesSink(callee); hit != nil {
+				if hit := l.reachesSink(callee, pkg.Path); hit != nil {
 					l.report(call.Pos(), "locked-io",
 						"call reaches platform/sec work while %s is held (%s); move it off the critical section or declare a serialization point (*Locked / //tdblint:serial)",
 						held, hit.chain)

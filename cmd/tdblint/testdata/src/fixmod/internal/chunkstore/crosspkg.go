@@ -1,0 +1,36 @@
+// crosspkg.go — the exported entry point other fixture packages call into:
+// it funnels to a *Locked serialization point that performs the device read,
+// modeling chunkstore.Store.Read. Its serialization point vouches for THIS
+// package's mutex only; walks originating in another package's lock region
+// must pass through it down to the platform sink.
+package chunkstore
+
+import (
+	"sync"
+
+	"fixmod/internal/platform"
+)
+
+// Store is the exported chunk-store handle.
+type Store struct {
+	mu    sync.Mutex
+	file  platform.File
+	retry RetryPolicy
+}
+
+// Read acquires the chunk store's own mutex and funnels into readLocked:
+// negative within this package.
+func (s *Store) Read(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(p)
+}
+
+// readLocked performs the device read with the chunk store's mutex held by
+// design.
+func (s *Store) readLocked(p []byte) error {
+	return s.retry.run(func() error {
+		_, err := s.file.ReadAt(p, 0)
+		return err
+	})
+}

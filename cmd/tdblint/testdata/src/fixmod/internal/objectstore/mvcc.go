@@ -1,0 +1,41 @@
+// Package objectstore models the MVCC snapshot read path: version
+// resolution under the table's read lock, with a chunk-store fallback.
+// Its cases pin the cross-package locked-io rule — a serialization point
+// declared in the callee's package does not vouch for a lock held here.
+package objectstore
+
+import (
+	"sync"
+
+	"fixmod/internal/chunkstore"
+)
+
+type versionTable struct {
+	mu     sync.RWMutex
+	chains map[uint64][]byte
+}
+
+// resolveThenFallback drops the read lock before falling back to the chunk
+// store — the live snapshotOpen shape: negative.
+func (vt *versionTable) resolveThenFallback(s *chunkstore.Store, oid uint64, p []byte) []byte {
+	vt.mu.RLock()
+	data := vt.chains[oid]
+	vt.mu.RUnlock()
+	if data == nil {
+		s.Read(p)
+	}
+	return data
+}
+
+// fallbackUnderReadLock reaches the chunk store while still holding the
+// read lock: positive — the walk crosses the package boundary and descends
+// through the callee package's own serialization points to the device read.
+func (vt *versionTable) fallbackUnderReadLock(s *chunkstore.Store, oid uint64, p []byte) []byte {
+	vt.mu.RLock()
+	defer vt.mu.RUnlock()
+	data := vt.chains[oid]
+	if data == nil {
+		s.Read(p)
+	}
+	return data
+}

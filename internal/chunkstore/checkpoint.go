@@ -168,10 +168,23 @@ func (s *Store) readSuperblock() (superblock, error) {
 }
 
 // writeSuperblock publishes a checkpoint pointer and IV-generation
-// reservation into the alternate slot and syncs. It is called with the new
-// checkpoint location at checkpoints, and with the unchanged s.lastCkpt when
-// only the IV reservation needs extending.
-func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64) error {
+// reservation into the alternate slot. It is called with the new checkpoint
+// location at checkpoints, and with the unchanged s.lastCkpt when only the
+// IV reservation needs extending.
+//
+// With syncNow false the slot is written but its fsync is deferred
+// (superDirty): the next log-tail harden barrier pays it, so a checkpoint
+// costs one durability barrier instead of two. That is safe because the
+// slot only points at a checkpoint record that is already durable — a crash
+// before the deferred sync recovers from the previous anchor and replays
+// the residual log across the new checkpoint's records. Before writing a
+// new slot, any dirty slot is synced first: with two ping-pong slots, a
+// second unsynced write would land on the last durable slot and an honest
+// crash could leave no valid superblock at all.
+func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64, syncNow bool) error {
+	if err := s.syncSuperIfDirtyLocked(); err != nil {
+		return err
+	}
 	s.superSeq++
 	sb := superblock{
 		seq:           s.superSeq,
@@ -201,10 +214,36 @@ func (s *Store) writeSuperblock(ckptLoc Location, ivGenReserved uint64) error {
 	if err != nil {
 		return ioErr("write", superblockName, 0, off, attempts, err)
 	}
+	if !syncNow {
+		s.superDirty = true
+		return nil
+	}
 	attempts, err = s.cfg.Retry.run(f.Sync)
 	if err != nil {
 		return ioErr("sync", superblockName, 0, -1, attempts, err)
 	}
+	return nil
+}
+
+// syncSuperIfDirtyLocked pays the fsync deferred by a checkpoint's
+// superblock write. It is folded into every log-tail harden barrier
+// (hardenLocked, group-commit rounds), and run eagerly where a stale
+// durable anchor would be unsafe or lost: before a new slot write
+// (ping-pong safety), before the cleaner frees victim segments the old
+// anchor still references, and at format/Close. Caller holds s.mu.
+func (s *Store) syncSuperIfDirtyLocked() error {
+	if !s.superDirty {
+		return nil
+	}
+	f, err := s.superblockFile(false)
+	if err != nil {
+		return err
+	}
+	attempts, err := s.cfg.Retry.run(f.Sync)
+	if err != nil {
+		return ioErr("sync", superblockName, 0, -1, attempts, err)
+	}
+	s.superDirty = false
 	return nil
 }
 
@@ -397,15 +436,17 @@ func (s *Store) checkpointLocked() error {
 	if err := s.appendCommitRecordLocked(true, false, nil); err != nil {
 		return err
 	}
-	// Fold a fresh IV reservation into the checkpoint's superblock write, so
-	// steady-state stores never need a reservation-only superblock write
-	// between checkpoints. ivGen never exceeds the previous extension point,
-	// so this reservation is monotone.
-	reserve := s.ivGen.Load() + ivGenReserveBlock
-	if err := s.writeSuperblock(ckptLoc, reserve); err != nil {
+	// Write the new anchor into the alternate slot but defer its fsync to
+	// the next harden barrier: the checkpoint record above is already
+	// durable, so a crash before the deferred sync merely recovers from the
+	// previous anchor and replays across this checkpoint's records. This
+	// makes a checkpoint cost one durability barrier (the inline harden)
+	// instead of two. The IV reservation written is the current durable
+	// limit, UNCHANGED: advancing the limit on an unsynced write would let a
+	// crash hand the same IV generations out again under the same key.
+	if err := s.writeSuperblock(ckptLoc, s.ivGenLimit.Load(), false); err != nil {
 		return err
 	}
-	s.ivGenLimit.Store(reserve)
 	s.lastCkpt = ckptLoc
 	s.residualBytes = 0
 	s.statCheckpoints++

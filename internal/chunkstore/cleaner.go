@@ -104,8 +104,15 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 	if len(victims) == 0 {
 		return nil
 	}
-	// Durably publish the relocations, then free the victims.
+	// Durably publish the relocations, then free the victims. The
+	// checkpoint defers its superblock fsync, but the victims cannot be
+	// freed under a stale durable anchor — recovery would chase the old
+	// checkpoint's segment table into the freed files — so the deferred
+	// sync is paid here, before any segment is unlinked.
 	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	if err := s.syncSuperIfDirtyLocked(); err != nil {
 		return err
 	}
 	for _, num := range victims {

@@ -258,6 +258,13 @@ func (s *Store) gcSnapshotRound() (tasks []syncTask, seq uint64, done bool, err 
 		s.noteHardenedLocked(s.commitSeq)
 		return nil, 0, true, nil
 	}
+	// Pay any deferred checkpoint-superblock fsync as part of this round's
+	// barrier. It runs under the mutex (rare — at most once per checkpoint)
+	// so no new slot write can race it; on failure groupPending stays set
+	// and a later round retries, like a failed write-behind flush below.
+	if err := s.syncSuperIfDirtyLocked(); err != nil {
+		return nil, 0, true, err
+	}
 	tasks, err = s.segs.syncSnapshotLocked()
 	if err != nil {
 		// The write-behind flush failed before anything was snapshotted:
@@ -314,6 +321,14 @@ func (s *Store) advanceCounterLocked() error {
 // holds s.mu.
 func (s *Store) hardenLocked() error {
 	if s.groupPending {
+		// The harden barrier also pays any superblock fsync deferred by an
+		// earlier checkpoint (one barrier event instead of two). Order does
+		// not matter for safety — the dirty slot points at a checkpoint
+		// record hardened before the slot was written — but syncing it first
+		// keeps a failure from acknowledging the commit.
+		if err := s.syncSuperIfDirtyLocked(); err != nil {
+			return err
+		}
 		if err := s.segs.syncDirty(); err != nil {
 			return err
 		}

@@ -448,6 +448,37 @@ func (ss *segmentSet) append(rec []byte, segmentSize int) (Location, error) {
 	}
 	tail := ss.tail
 	loc := Location{Seg: tail.num, Off: uint32(tail.size), Len: uint32(len(rec))}
+	if ss.wbCap > 0 && len(rec)*2 >= ss.wbCap {
+		// Bulk records write through directly, skipping the buffer memcpy:
+		// a record at or above half the cap would immediately force a flush
+		// anyway, so buffering it buys nothing and costs a copy. Flush any
+		// buffered prefix first so file order matches log order.
+		if err := ss.flushLocked(); err != nil {
+			return Location{}, err
+		}
+		if ss.wbSeg != tail {
+			ss.wbSeg = tail
+			ss.wbOff = tail.size
+			ss.wbDirty = 0
+		}
+		if err := ss.writeAt(tail, rec, tail.size); err != nil {
+			// Mirror the failed-flush protocol: the write may have partially
+			// applied, so a later rewind below this high-water mark must
+			// truncate physically rather than trim in memory.
+			if end := tail.size + int64(len(rec)); end > ss.wbDirty {
+				ss.wbDirty = end
+			}
+			return Location{}, err
+		}
+		tail.size += int64(len(rec))
+		ss.wbOff = tail.size
+		if ss.wbOff >= ss.wbDirty {
+			ss.wbDirty = 0
+		}
+		tail.synced = false
+		tail.gen++
+		return loc, nil
+	}
 	if ss.wbCap > 0 {
 		if ss.wbSeg != tail {
 			// Adopt the current tail. The buffer is empty here: create()

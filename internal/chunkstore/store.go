@@ -75,6 +75,13 @@ type Store struct {
 	residualBytes int64
 	// superSeq numbers superblock writes for the ping-pong slots.
 	superSeq uint64
+	// superDirty is true while the newest superblock slot has been written
+	// but not yet fsynced (a checkpoint defers the slot's sync into the next
+	// log-tail harden barrier; see writeSuperblock). At most one unsynced
+	// slot is ever outstanding: a dirty slot is synced before any new slot
+	// write, or the ping-pong alternation would overwrite the last durable
+	// slot. Mutated only under mu.
+	superDirty bool
 	// superFile is the cached superblock file handle, opened lazily by
 	// readSuperblock/writeSuperblock and closed in Close. Accessed only under
 	// mu (or single-threaded during Open).
@@ -225,7 +232,7 @@ func (s *Store) extendIVReservationLocked(gen uint64) error {
 		return nil
 	}
 	newLimit := gen + ivGenReserveBlock
-	if err := s.writeSuperblock(s.lastCkpt, newLimit); err != nil {
+	if err := s.writeSuperblock(s.lastCkpt, newLimit, true); err != nil {
 		return fmt.Errorf("chunkstore: extending IV generation reservation: %w", err)
 	}
 	s.ivGenLimit.Store(newLimit)
@@ -239,14 +246,20 @@ func (s *Store) format() error {
 	// Pre-seed the IV reservation in memory so the format-time checkpoint
 	// does not trigger an extension superblock write pointing at a not yet
 	// existing checkpoint. The checkpoint's own superblock write persists the
-	// limit; a crash before it leaves no superblock, so the store formats
-	// afresh (truncating the segment) and no encryption under the burned
-	// generations survives.
+	// limit; a crash before it is synced leaves no superblock, so the store
+	// formats afresh (truncating the segment) and no encryption under the
+	// burned generations survives.
 	s.ivGenLimit.Store(ivGenReserveBlock)
 	if _, err := s.segs.create(); err != nil {
 		return err
 	}
 	if err := s.checkpointLocked(); err != nil {
+		return fmt.Errorf("chunkstore: formatting: %w", err)
+	}
+	// Format must end with a durable anchor: unlike a steady-state
+	// checkpoint there is no previous slot to fall back to, so the deferred
+	// sync is paid here rather than at the first harden barrier.
+	if err := s.syncSuperIfDirtyLocked(); err != nil {
 		return fmt.Errorf("chunkstore: formatting: %w", err)
 	}
 	return nil
@@ -282,6 +295,12 @@ func (s *Store) Close() error {
 	// nondurable commits at shutdown).
 	if ferr := s.segs.flushLocked(); ferr != nil && err == nil {
 		err = ferr
+	}
+	// Pay the superblock fsync the shutdown checkpoint deferred, so reopen
+	// recovers from the final anchor instead of replaying the residual log
+	// behind the previous one.
+	if serr := s.syncSuperIfDirtyLocked(); serr != nil && err == nil {
+		err = serr
 	}
 	if cerr := s.segs.closeAll(); cerr != nil && err == nil {
 		err = cerr

@@ -50,6 +50,15 @@ func (s *Store) Begin() *CTransaction {
 	return &CTransaction{s: s, t: s.os.Begin(), handles: make(map[string]*Handle)}
 }
 
+// BeginReadOnly starts a snapshot collection transaction: queries and
+// scans observe the committed state as of the latest commit, take no
+// object locks, never block on writers, and never fail with
+// objectstore.ErrLockTimeout. Mutations fail with
+// objectstore.ErrReadOnlyTxn.
+func (s *Store) BeginReadOnly() *CTransaction {
+	return &CTransaction{s: s, t: s.os.BeginReadOnly(), handles: make(map[string]*Handle)}
+}
+
 // CTransaction is a transaction over collections (paper Figure 5).
 type CTransaction struct {
 	s       *Store
@@ -57,9 +66,15 @@ type CTransaction struct {
 	handles map[string]*Handle
 }
 
-// openCatalog opens the catalog object.
+// openCatalog opens the catalog object. The root pointer comes from the
+// transaction, so a snapshot transaction resolves the catalog as of its
+// pinned stamp.
 func (ct *CTransaction) openCatalog(writable bool) (*catalogObject, error) {
-	return openAs[*catalogObject](ct.t, ct.s.os.Root(), writable)
+	root, err := ct.t.Root()
+	if err != nil {
+		return nil, err
+	}
+	return openAs[*catalogObject](ct.t, root, writable)
 }
 
 // Commit commits the transaction in the given durability mode. All

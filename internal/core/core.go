@@ -259,10 +259,22 @@ func (db *DB) Close() error {
 // Begin starts a collection transaction — the primary application API.
 func (db *DB) Begin() *collection.CTransaction { return db.cols.Begin() }
 
+// BeginReadOnly starts a snapshot collection transaction: it observes a
+// consistent committed state, takes no object locks, never blocks on
+// concurrent writers, and can never fail with ErrLockTimeout. Mutating
+// operations fail with objectstore.ErrReadOnlyTxn. Ideal for the
+// read-heavy traffic of a DRM meter store — rights checks, audits,
+// reports — running alongside committing writers.
+func (db *DB) BeginReadOnly() *collection.CTransaction { return db.cols.BeginReadOnly() }
+
 // BeginObject starts a raw object transaction for applications using the
 // object store directly. Databases that use collections must not mutate
 // collection objects through this interface.
 func (db *DB) BeginObject() *objectstore.Txn { return db.objects.Begin() }
+
+// BeginObjectReadOnly starts a raw snapshot object transaction (the
+// object-store analogue of BeginReadOnly).
+func (db *DB) BeginObjectReadOnly() *objectstore.Txn { return db.objects.BeginReadOnly() }
 
 // Objects exposes the object store layer.
 func (db *DB) Objects() *objectstore.Store { return db.objects }

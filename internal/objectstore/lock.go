@@ -165,6 +165,11 @@ func (lt *lockTable) release(t *Txn) {
 	}
 }
 
+// entryCount reports the number of live lock-table entries. Snapshot
+// transactions must keep this at zero no matter how much they read — the
+// invariant tests assert it.
+func (lt *lockTable) entryCount() int { return len(lt.locks) }
+
 // holds reports the mode t currently holds on oid (ok=false when none).
 func (lt *lockTable) holds(t *Txn, oid ObjectID) (lockMode, bool) {
 	l, ok := lt.locks[oid]

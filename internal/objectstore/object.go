@@ -66,6 +66,10 @@ var (
 	// object opened read-only was mutated (§4.1's const-enforcement, which
 	// Go cannot express statically).
 	ErrReadonlyViolation = errors.New("objectstore: object opened read-only was modified")
+	// ErrReadOnlyTxn is returned when a mutation (Insert, OpenWritable,
+	// Remove, SetRoot) is attempted in a snapshot transaction started with
+	// BeginReadOnly.
+	ErrReadOnlyTxn = errors.New("objectstore: mutation in a read-only snapshot transaction")
 )
 
 // Registry maps class ids to factories producing empty instances for

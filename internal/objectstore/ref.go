@@ -13,6 +13,10 @@ import "fmt"
 // ReadonlyRef corresponds to Ref<const T>: the referenced object must not
 // be mutated. Go cannot enforce that statically; Config.ReadonlyChecks adds
 // a dynamic verification.
+//
+// In a snapshot transaction (Store.BeginReadOnly) OpenReadonly resolves
+// against the pinned snapshot without locking, and OpenWritable fails with
+// ErrReadOnlyTxn.
 
 // ReadonlyRef is a read-only view of an object of type T.
 type ReadonlyRef[T Object] struct {

@@ -45,6 +45,10 @@ type Store struct {
 	chunks *chunkstore.Store
 	locks  *lockTable
 	cache  map[ObjectID]*cacheEntry
+	// versions is the multi-version table backing read-only snapshot
+	// transactions (BeginReadOnly); read-write transactions stage and
+	// publish committed versions through it.
+	versions *versionTable
 
 	// rootChunk holds the persistent root object pointer (paper §4.1: "the
 	// application can register a 'root' object id with the object store").
@@ -84,14 +88,16 @@ func Open(cfg Config) (*Store, error) {
 		cfg.LockTimeout = 250 * time.Millisecond
 	}
 	s := &Store{
-		cfg:    cfg,
-		chunks: cfg.Chunks,
-		locks:  newLockTable(),
-		cache:  make(map[ObjectID]*cacheEntry),
+		cfg:      cfg,
+		chunks:   cfg.Chunks,
+		locks:    newLockTable(),
+		cache:    make(map[ObjectID]*cacheEntry),
+		versions: newVersionTable(),
 	}
 	if err := s.initRoot(); err != nil {
 		return nil, err
 	}
+	s.versions.rootOID = s.rootOID
 	return s, nil
 }
 
@@ -137,6 +143,12 @@ func (s *Store) initRoot() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+// closeLocked tears the store down with the mutex held by design: closing
+// must exclude every other store operation. Caller holds s.mu.
+func (s *Store) closeLocked() error {
 	if s.closed {
 		return nil
 	}
@@ -154,7 +166,7 @@ func (s *Store) Root() ObjectID {
 	return s.rootOID
 }
 
-// Begin starts a transaction.
+// Begin starts a read-write transaction.
 func (s *Store) Begin() *Txn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -168,9 +180,34 @@ func (s *Store) Begin() *Txn {
 	}
 }
 
-// lookup returns the cached entry for oid, faulting it in from the chunk
-// store if needed. Caller holds s.mu.
-func (s *Store) lookup(oid ObjectID) (*cacheEntry, error) {
+// BeginReadOnly starts a snapshot transaction: it observes the committed
+// state as of the latest published commit and keeps observing exactly that
+// state no matter what commits afterwards. Snapshot transactions take no
+// object locks and no lock-table entries, never block on writers, and can
+// never fail with ErrLockTimeout; mutating operations return
+// ErrReadOnlyTxn. End one with Commit or Abort (equivalent) so the pinned
+// versions become reclaimable.
+func (s *Store) BeginReadOnly() *Txn {
+	s.mu.Lock()
+	s.txnSeq++
+	id := s.txnSeq
+	s.mu.Unlock()
+	pin, root := s.versions.pin()
+	return &Txn{
+		s:        s,
+		id:       id,
+		readOnly: true,
+		roActive: true,
+		pin:      pin,
+		roRoot:   root,
+		snapObjs: make(map[ObjectID]Object),
+	}
+}
+
+// lookupLocked returns the cached entry for oid, faulting it in from the
+// chunk store with the store mutex held by design: strict 2PL reads
+// serialize on the store mutex (§4.2.2). Caller holds s.mu.
+func (s *Store) lookupLocked(oid ObjectID) (*cacheEntry, error) {
 	if e, ok := s.cache[oid]; ok {
 		e.ent.Touch()
 		return e, nil
@@ -212,15 +249,26 @@ func (s *Store) dropFromCache(oid ObjectID) {
 	}
 }
 
-// Stats reports cache occupancy.
+// Stats reports cache occupancy and concurrency-control state.
 type Stats struct {
 	CachedObjects int
 	CacheBytes    int64
+	// LockEntries is the number of live lock-table entries (snapshot
+	// transactions contribute zero).
+	LockEntries int
+	// VersionChains is the number of objects with live version history
+	// retained for snapshot readers.
+	VersionChains int
 }
 
 // Stats returns object cache statistics.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{CachedObjects: len(s.cache), CacheBytes: s.cfg.CachePool.Used()}
+	return Stats{
+		CachedObjects: len(s.cache),
+		CacheBytes:    s.cfg.CachePool.Used(),
+		LockEntries:   s.locks.entryCount(),
+		VersionChains: s.versions.chainCount(),
+	}
 }

@@ -24,6 +24,23 @@ type Txn struct {
 	// rootSet stages a root-pointer update.
 	rootSet bool
 	rootOID ObjectID
+	// staged carries the version-table entries of an in-flight commit from
+	// staging (before the chunk-store merge) to publish (after it).
+	staged []stagedVersion
+
+	// Read-only (snapshot) transactions: see BeginReadOnly. A read-only
+	// Txn touches neither the lock table nor the store mutex after Begin;
+	// its state below is confined to the owning goroutine (a Txn is not
+	// for concurrent use, as documented above).
+	readOnly bool
+	roActive bool
+	// pin is the commit stamp this snapshot resolves against.
+	pin uint64
+	// roRoot is the root pointer as of the pinned stamp.
+	roRoot ObjectID
+	// snapObjs caches objects already resolved by this snapshot, so every
+	// oid unpickles once and repeated opens return the same instance.
+	snapObjs map[ObjectID]Object
 }
 
 // txnObject is the per-transaction state of one object.
@@ -65,8 +82,19 @@ func (t *Txn) lock(oid ObjectID, mode lockMode) error {
 // 3). The object is cached and pinned until the transaction ends; the id is
 // the id of the chunk that will hold it (§4.2.1).
 func (t *Txn) Insert(obj Object) (ObjectID, error) {
+	if t.readOnly {
+		return NilObject, ErrReadOnlyTxn
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
+	return t.insertLocked(obj)
+}
+
+// insertLocked allocates the chunk id and stages the insert with the store
+// mutex held by design: the allocation must stay ordered with the exclusive
+// lock acquisition that reserves the id for this transaction. Caller holds
+// s.mu.
+func (t *Txn) insertLocked(obj Object) (ObjectID, error) {
 	if !t.active {
 		return NilObject, ErrTxnDone
 	}
@@ -95,24 +123,82 @@ func (t *Txn) Insert(obj Object) (ObjectID, error) {
 	return oid, nil
 }
 
-// OpenReadonly opens an object for reading under a shared lock. The
-// returned object must not be modified; enable Config.ReadonlyChecks to
-// verify that during development.
+// OpenReadonly opens an object for reading. In a read-write transaction
+// this takes a shared lock; in a read-only transaction it resolves the
+// object against the pinned snapshot without locking. The returned object
+// must not be modified; enable Config.ReadonlyChecks to verify that during
+// development.
 func (t *Txn) OpenReadonly(oid ObjectID) (Object, error) {
+	if t.readOnly {
+		return t.snapshotOpen(oid)
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	return t.open(oid, lockShared)
+	return t.openLocked(oid, lockShared)
 }
 
 // OpenWritable opens an object for reading and writing under an exclusive
 // lock. Mutations become persistent when the transaction commits.
 func (t *Txn) OpenWritable(oid ObjectID) (Object, error) {
+	if t.readOnly {
+		return nil, ErrReadOnlyTxn
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	return t.open(oid, lockExclusive)
+	return t.openLocked(oid, lockExclusive)
 }
 
-func (t *Txn) open(oid ObjectID, mode lockMode) (Object, error) {
+// snapshotOpen resolves oid against this read-only transaction's pinned
+// stamp. It takes no object locks and never returns ErrLockTimeout: the
+// version table answers under a short read lock, and the no-chain
+// fallback reads the committed state from the chunk store directly.
+func (t *Txn) snapshotOpen(oid ObjectID) (Object, error) {
+	if !t.roActive {
+		return nil, ErrTxnDone
+	}
+	if oid == NilObject {
+		return nil, fmt.Errorf("%w: nil object id", ErrNotFound)
+	}
+	if obj, ok := t.snapObjs[oid]; ok {
+		return obj, nil
+	}
+	vt := t.s.versions
+	data, present, ok := vt.resolve(oid, t.pin)
+	if !ok {
+		// No chain: the chunk store holds the committed state. The read
+		// can race a committing writer's merge, so re-check the table
+		// afterwards: a commit that merged ahead of our read staged its
+		// chain (with our pre-image as baseline) before merging, so the
+		// chain is visible by now if the race happened.
+		raw, err := t.s.chunks.Read(chunkstore.ChunkID(oid))
+		if data, present, ok = vt.resolve(oid, t.pin); !ok {
+			if err != nil {
+				if errors.Is(err, chunkstore.ErrNotAllocated) || errors.Is(err, chunkstore.ErrNotWritten) {
+					return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
+				}
+				return nil, err
+			}
+			data, present = raw, true
+		}
+	}
+	if !present {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	obj, err := unpickleObject(t.s.cfg.Registry, data)
+	if err != nil {
+		return nil, err
+	}
+	t.snapObjs[oid] = obj
+	return obj, nil
+}
+
+// openLocked opens an object for a read-write transaction with the store
+// mutex held by design: strict 2PL reads serialize on the store mutex, and
+// a cache miss faults the object in from the chunk store under it (§4.2.2).
+// The snapshot read path (snapshotOpen) is the one that may not do this —
+// it must never reach the chunk store while holding a version-table lock.
+// Caller holds s.mu.
+func (t *Txn) openLocked(oid ObjectID, mode lockMode) (Object, error) {
 	if !t.active {
 		return nil, ErrTxnDone
 	}
@@ -127,7 +213,7 @@ func (t *Txn) open(oid ObjectID, mode lockMode) (Object, error) {
 		return nil, fmt.Errorf("%w: %d (removed in this transaction)", ErrNotFound, oid)
 	}
 	if !ok {
-		e, err := t.s.lookup(oid)
+		e, err := t.s.lookupLocked(oid)
 		if err != nil {
 			return nil, err
 		}
@@ -152,6 +238,9 @@ func (t *Txn) open(oid ObjectID, mode lockMode) (Object, error) {
 // Remove deletes the named object and frees its id for reuse (paper Figure
 // 3). The removal becomes persistent at commit.
 func (t *Txn) Remove(oid ObjectID) error {
+	if t.readOnly {
+		return ErrReadOnlyTxn
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	if !t.active {
@@ -165,13 +254,18 @@ func (t *Txn) Remove(oid ObjectID) error {
 		return fmt.Errorf("%w: %d (already removed)", ErrNotFound, oid)
 	}
 	if !ok {
-		e, err := t.s.lookup(oid)
+		e, err := t.s.lookupLocked(oid)
 		if err != nil {
 			return err
 		}
 		e.ent.Pin()
 		to = &txnObject{entry: e}
 		t.opened[oid] = to
+	}
+	if !to.written && !to.inserted && to.prePickle == nil {
+		// Capture the committed pre-image: if the commit has to create a
+		// version chain for this removal, the baseline is this state.
+		to.prePickle = pickleObject(to.entry.obj)
 	}
 	to.removed = true
 	return nil
@@ -180,6 +274,9 @@ func (t *Txn) Remove(oid ObjectID) error {
 // SetRoot stages the registration of oid as the database root object; the
 // update commits with the transaction.
 func (t *Txn) SetRoot(oid ObjectID) error {
+	if t.readOnly {
+		return ErrReadOnlyTxn
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	if !t.active {
@@ -190,8 +287,15 @@ func (t *Txn) SetRoot(oid ObjectID) error {
 	return nil
 }
 
-// Root reads the root object id as seen by this transaction.
+// Root reads the root object id as seen by this transaction. A read-only
+// transaction reports the root as of its pinned snapshot.
 func (t *Txn) Root() (ObjectID, error) {
+	if t.readOnly {
+		if !t.roActive {
+			return NilObject, ErrTxnDone
+		}
+		return t.roRoot, nil
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	if !t.active {
@@ -203,8 +307,14 @@ func (t *Txn) Root() (ObjectID, error) {
 	return t.s.rootOID, nil
 }
 
+// ReadOnly reports whether this is a snapshot (read-only) transaction.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
 // Active reports whether the transaction can still be used.
 func (t *Txn) Active() bool {
+	if t.readOnly {
+		return t.roActive
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	return t.active
@@ -233,6 +343,9 @@ func (t *Txn) Active() bool {
 // with group commit enabled, a failed deferred harden surfaces here after
 // the commit applied (see chunkstore.GroupCommitConfig).
 func (t *Txn) Commit(durable bool) error {
+	if t.readOnly {
+		return t.finishReadOnly()
+	}
 	t.s.mu.Lock()
 	active := t.active
 	t.s.mu.Unlock()
@@ -252,7 +365,7 @@ func (t *Txn) Commit(durable bool) error {
 				// Evict the poisoned cache entry so the next open refetches
 				// the committed state, then fail the transaction.
 				t.s.mu.Lock()
-				t.finish(true)
+				t.finishLocked(true)
 				t.s.dropFromCache(oid)
 				t.s.mu.Unlock()
 				return fmt.Errorf("%w: object %d", ErrReadonlyViolation, oid)
@@ -263,9 +376,12 @@ func (t *Txn) Commit(durable bool) error {
 	// group-commit round leader's batching window waits for this record
 	// instead of syncing just before it lands.
 	announced := t.s.chunks.AnnounceDurable(durable)
-	// Build the batch and run stage-1 crypto, still unlocked.
+	// Build the batch and run stage-1 crypto, still unlocked. Each batch
+	// entry also becomes a staged version-table entry so snapshot readers
+	// pinned before this commit keep resolving the pre-image.
 	batch := t.s.chunks.NewBatch()
 	var unusedIDs []chunkstore.ChunkID
+	t.staged = nil
 	for oid, to := range t.opened {
 		switch {
 		case to.removed && to.inserted:
@@ -274,6 +390,9 @@ func (t *Txn) Commit(durable bool) error {
 			unusedIDs = append(unusedIDs, chunkstore.ChunkID(oid))
 		case to.removed:
 			batch.Deallocate(chunkstore.ChunkID(oid))
+			t.staged = append(t.staged, stagedVersion{
+				oid: oid, present: false, pre: to.prePickle, preExisted: true,
+			})
 		case to.written:
 			data := pickleObject(to.entry.obj)
 			if to.prePickle != nil && string(data) == string(to.prePickle) {
@@ -284,6 +403,10 @@ func (t *Txn) Commit(durable bool) error {
 			}
 			batch.Write(chunkstore.ChunkID(oid), data)
 			to.entry.size = int64(len(data))
+			t.staged = append(t.staged, stagedVersion{
+				oid: oid, data: data, present: true,
+				pre: to.prePickle, preExisted: !to.inserted,
+			})
 		}
 	}
 	if t.rootSet {
@@ -298,17 +421,26 @@ func (t *Txn) Commit(durable bool) error {
 	prep, err := t.s.chunks.PrepareBatch(batch)
 	if err != nil {
 		// Nothing applied; the transaction stays active.
+		t.staged = nil
 		if announced {
 			t.s.chunks.RetractDurable()
 		}
 		return err
 	}
+	// Stage the version-table entries BEFORE the chunk-store merge: once
+	// the merge lands, a snapshot reader's chunk-store fallback could see
+	// this commit's state, so the chains carrying the pre-images must be
+	// in place first (see versionTable).
+	t.s.versions.stage(t.staged)
 	// Stage 2 + publish under the mutex, then the (possibly deferred)
 	// durability wait outside it.
 	ticket, err := t.commitPublish(batch, prep, unusedIDs, durable)
 	if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
 		// The chunk store applied nothing; keep the transaction active so
-		// the application can retry or abort.
+		// the application can retry or abort. The staged versions never
+		// became visible as committed state; discard them.
+		t.s.versions.unstage(t.staged)
+		t.staged = nil
 		if announced {
 			t.s.chunks.RetractDurable()
 		}
@@ -325,18 +457,8 @@ func (t *Txn) Commit(durable bool) error {
 // returns — and ends the transaction. Failures of post-commit work are
 // reported wrapped as chunkstore.ErrMaintenance; the commit stands.
 func (t *Txn) commitPublish(batch *chunkstore.Batch, prep *chunkstore.PreparedBatch, unusedIDs []chunkstore.ChunkID, durable bool) (chunkstore.CommitTicket, error) {
-	// Root-pointer commits serialize fully: the in-memory root pointer must
-	// be updated in the same order as the chunk-store commits persisting it,
-	// and only the store mutex provides that ordering.
 	if t.rootSet {
-		t.s.mu.Lock()
-		defer t.s.mu.Unlock()
-		ticket, err := t.s.chunks.CommitPrepared(batch, prep, durable)
-		if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
-			return ticket, err
-		}
-		t.s.rootOID = t.rootOID
-		return ticket, t.publishLocked(unusedIDs, err)
+		return t.commitRoot(batch, prep, unusedIDs, durable)
 	}
 	// Ordinary commits run chunk-store stage 2 outside the store mutex:
 	// strict 2PL keeps the write set exclusively locked until finish, so no
@@ -354,11 +476,36 @@ func (t *Txn) commitPublish(batch *chunkstore.Batch, prep *chunkstore.PreparedBa
 	return ticket, t.publishLocked(unusedIDs, err)
 }
 
+// commitRoot serializes a root-pointer commit fully: the in-memory root
+// pointer must be updated in the same order as the chunk-store commits
+// persisting it, and only the store mutex provides that ordering.
+func (t *Txn) commitRoot(batch *chunkstore.Batch, prep *chunkstore.PreparedBatch, unusedIDs []chunkstore.ChunkID, durable bool) (chunkstore.CommitTicket, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.commitRootLocked(batch, prep, unusedIDs, durable)
+}
+
+// commitRootLocked runs chunk-store stage 2 with the store mutex held by
+// design: holding it across the merge is what keeps the root-pointer update
+// ordered with the commit persisting it. Caller holds s.mu.
+func (t *Txn) commitRootLocked(batch *chunkstore.Batch, prep *chunkstore.PreparedBatch, unusedIDs []chunkstore.ChunkID, durable bool) (chunkstore.CommitTicket, error) {
+	ticket, err := t.s.chunks.CommitPrepared(batch, prep, durable)
+	if err != nil && !errors.Is(err, chunkstore.ErrMaintenance) {
+		return ticket, err
+	}
+	t.s.rootOID = t.rootOID
+	return ticket, t.publishLocked(unusedIDs, err)
+}
+
 // publishLocked finishes a committed transaction: returns unused chunk ids
 // to the allocator, publishes cache state, and releases locks. Failures of
 // this post-commit work are reported wrapped as chunkstore.ErrMaintenance;
 // the commit stands. Caller holds s.mu.
 func (t *Txn) publishLocked(unusedIDs []chunkstore.ChunkID, postErr error) error {
+	// The chunk-store merge applied: assign the commit stamp to the staged
+	// versions so snapshot readers pinning from now on see this commit.
+	t.s.versions.publish(t.staged, t.rootSet, t.rootOID)
+	t.staged = nil
 	for _, cid := range unusedIDs {
 		if rerr := t.s.chunks.Release(cid); rerr != nil && postErr == nil {
 			postErr = fmt.Errorf("%w: releasing unused chunk id %d: %w", chunkstore.ErrMaintenance, cid, rerr)
@@ -372,7 +519,7 @@ func (t *Txn) publishLocked(unusedIDs []chunkstore.ChunkID, postErr error) error
 			to.entry.ent.Resize(to.entry.size + 64)
 		}
 	}
-	t.finish(false)
+	t.finishLocked(false)
 	return postErr
 }
 
@@ -380,17 +527,36 @@ func (t *Txn) publishLocked(unusedIDs []chunkstore.ChunkID, postErr error) error
 // are evicted from the cache (their in-memory state was mutated in place),
 // chunk ids of inserted objects are released, and all locks drop (§4.2.3).
 func (t *Txn) Abort() {
+	if t.readOnly {
+		t.finishReadOnly()
+		return
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
 	if !t.active {
 		return
 	}
-	t.finish(true)
+	t.finishLocked(true)
 }
 
-// finish releases pins and locks; with evictWritten it also discards
-// mutated cache entries. Caller holds s.mu.
-func (t *Txn) finish(evictWritten bool) {
+// finishReadOnly ends a snapshot transaction: the pin drops (letting the
+// version table reclaim retired versions) and the transaction becomes
+// unusable. Commit and Abort are equivalent for read-only transactions —
+// there is nothing to persist or undo.
+func (t *Txn) finishReadOnly() error {
+	if !t.roActive {
+		return ErrTxnDone
+	}
+	t.roActive = false
+	t.snapObjs = nil
+	t.s.versions.unpin(t.pin)
+	return nil
+}
+
+// finishLocked releases pins and locks with the store mutex held by design
+// (an aborted insert returns its chunk id to the allocator under it); with
+// evictWritten it also discards mutated cache entries. Caller holds s.mu.
+func (t *Txn) finishLocked(evictWritten bool) {
 	for oid, to := range t.opened {
 		to.entry.ent.Unpin()
 		if evictWritten {

@@ -246,6 +246,46 @@ func (d *TDBDriver) Run(op Op) error {
 	return nil
 }
 
+// RunReadOnly executes the read-only TPC-B variant: a snapshot transaction
+// reading the balances the read-write transaction would update (account,
+// teller, branch). It runs on the MVCC snapshot path — no lock-table
+// entries, never ErrLockTimeout — so any number of these may run
+// concurrently with the (single-threaded) write stream.
+func (d *TDBDriver) RunReadOnly(op Op) error {
+	ct := d.db.BeginReadOnly()
+	defer ct.Abort()
+	if err := d.readBalance(ct, "account", d.accountIx, op.Account); err != nil {
+		return err
+	}
+	if err := d.readBalance(ct, "teller", d.tellerIx, op.Teller); err != nil {
+		return err
+	}
+	if err := d.readBalance(ct, "branch", d.branchIx, op.Branch); err != nil {
+		return err
+	}
+	return ct.Commit(false)
+}
+
+// readBalance resolves one row against the transaction's snapshot.
+func (d *TDBDriver) readBalance(ct *collection.CTransaction, name string, ix collection.GenericIndexer, id int32) error {
+	h, err := ct.ReadCollection(name, ix)
+	if err != nil {
+		return err
+	}
+	it, err := h.QueryExact(ix, collection.IntKey(id))
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	if !it.Next() {
+		return fmt.Errorf("tpcb: %s row %d missing", name, id)
+	}
+	if _, err := it.Read(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // updateBalance reads and updates one row through an iterator.
 func (d *TDBDriver) updateBalance(ct *collection.CTransaction, name string, ix collection.GenericIndexer, id int32, delta int64) error {
 	h, err := ct.WriteCollection(name, ix)

@@ -40,8 +40,13 @@ import (
 )
 
 // DB is an open database. See core.DB for the full method set: Begin,
-// Close, Verify, Checkpoint, Clean, Stats, BackupFull, BackupIncremental,
-// Scrub, Repair.
+// BeginReadOnly, Close, Verify, Checkpoint, Clean, Stats, BackupFull,
+// BackupIncremental, Scrub, Repair.
+//
+// DB.Begin starts a read-write transaction under strict two-phase locking;
+// DB.BeginReadOnly starts a snapshot transaction that reads a consistent
+// committed state without taking any locks — it never blocks on writers
+// and never returns ErrLockTimeout (mutations fail with ErrReadOnlyTxn).
 type DB = core.DB
 
 // Options configures Open and Restore. Performance knobs surfaced from the
@@ -214,4 +219,7 @@ var (
 	ErrIteratorOpen     = collection.ErrIteratorOpen
 	ErrLockTimeout      = objectstore.ErrLockTimeout
 	ErrNotFound         = objectstore.ErrNotFound
+	// ErrReadOnlyTxn is returned when a mutation is attempted in a snapshot
+	// transaction (DB.BeginReadOnly).
+	ErrReadOnlyTxn = objectstore.ErrReadOnlyTxn
 )
