@@ -7,8 +7,15 @@ LINTFLAGS ?=
 # to crash recovery and the perf harness in both states. Narrow while
 # iterating: make faults WRITEBEHIND=off.
 WRITEBEHIND ?= on off
+# CHAOS_SEED / CHAOS_ACTIONS parameterize the chaos oracle (test/chaos).
+# The defaults give a short deterministic run for the pre-merge gate; a
+# failure prints the exact `make chaos CHAOS_SEED=… CHAOS_ACTIONS=…` line
+# that replays it, and long runs are just bigger numbers:
+# make chaos CHAOS_ACTIONS=20000 CHAOS_SEED=$$RANDOM
+CHAOS_SEED ?= 42
+CHAOS_ACTIONS ?= 500
 
-.PHONY: build test check faults lint bench bench-smoke
+.PHONY: build test check faults lint bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -36,11 +43,24 @@ faults:
 			./internal/objectstore/ . || exit 1; \
 	done
 
-# check is the pre-merge gate: the fault-injection suite, vet, the trust-
-# invariant analyzers, the full suite under the race detector (the chunk
-# store's commit pipeline and read cache are concurrent), and a one-shot
-# pass over every benchmark so the perf harness can't silently rot.
-check: faults
+# chaos runs the deterministic full-stack chaos oracle (test/chaos) under
+# the race detector in both write-behind modes: a seeded action trace of
+# commits, scans, backups, restores, scrubs, repairs and restarts stormed
+# with crashes, torn tails, lost unsynced writes and bit rot, checked
+# against a shadow model after every recovery. Same seed, same trace.
+chaos:
+	@for wb in $(WRITEBEHIND); do \
+		echo "== chaos (TDB_WRITEBEHIND=$$wb, seed $(CHAOS_SEED), $(CHAOS_ACTIONS) actions) =="; \
+		TDB_WRITEBEHIND=$$wb $(GO) test -race -count=1 ./test/chaos/ \
+			-args -chaos.seed=$(CHAOS_SEED) -chaos.actions=$(CHAOS_ACTIONS) || exit 1; \
+	done
+
+# check is the pre-merge gate: the fault-injection suite, the chaos oracle,
+# vet, the trust-invariant analyzers, the full suite under the race
+# detector (the chunk store's commit pipeline and read cache are
+# concurrent), and a one-shot pass over every benchmark so the perf harness
+# can't silently rot.
+check: faults chaos
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test -race ./...

@@ -52,6 +52,10 @@ type objstoreReport struct {
 	// function of reader count with a writer committing concurrently, for a
 	// uniform read-heavy TPC-B mix and a Zipfian hot-key mix.
 	ReadRuns []readRunResult `json:"read_runs,omitempty"`
+	// YCSBRuns records the YCSB-style mixes: Zipfian update-heavy and
+	// read-mostly contention over a hot object set, and a large-object
+	// update stream (ycsb.go).
+	YCSBRuns []ycsbRunResult `json:"ycsb_runs,omitempty"`
 }
 
 // readRunResult is one snapshot-read configuration's measurements.
@@ -417,6 +421,9 @@ func runObjstore(workers, txns int, jsonOut bool) error {
 	}
 	fmt.Println()
 	if err := runSnapshotReads(&report, txns/workers); err != nil {
+		return err
+	}
+	if err := runYCSB(&report, workers, txns); err != nil {
 		return err
 	}
 	if jsonOut {

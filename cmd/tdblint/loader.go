@@ -191,8 +191,8 @@ func (m *Module) load(path string) (*Package, error) {
 			pkg.Files = append(pkg.Files, file)
 		}
 	}
-	if len(pkg.Files) == 0 {
-		return nil, fmt.Errorf("tdblint: no non-test Go files in %s", dir)
+	if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+		return nil, fmt.Errorf("tdblint: no Go files in %s", dir)
 	}
 	pkg.Info = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),

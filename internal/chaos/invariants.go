@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"tdb"
+)
+
+var poolSet = func() map[string]bool {
+	m := make(map[string]bool, len(colPool))
+	for _, c := range colPool {
+		m[c] = true
+	}
+	return m
+}()
+
+// scanState reads the entire database through one snapshot transaction:
+// every collection, every object, in byID order (which is also checked).
+func scanState(db *tdb.DB) (State, error) {
+	txn := db.BeginReadOnly()
+	defer txn.Abort()
+	names, err := txn.ListCollections()
+	if err != nil {
+		return nil, fmt.Errorf("ListCollections: %w", err)
+	}
+	sort.Strings(names)
+	st := State{}
+	for _, name := range names {
+		if !poolSet[name] {
+			return nil, fmt.Errorf("invariant: unexpected collection %q", name)
+		}
+		hdl, err := txn.ReadCollection(name)
+		if err != nil {
+			return nil, fmt.Errorf("ReadCollection %q: %w", name, err)
+		}
+		it, err := hdl.Query(byID())
+		if err != nil {
+			return nil, fmt.Errorf("Query byID %q: %w", name, err)
+		}
+		objs := map[int64]ObjState{}
+		prev := int64(-1)
+		for it.Next() {
+			o, err := tdb.ReadAs[*Obj](it)
+			if err != nil {
+				it.Close()
+				return nil, fmt.Errorf("read %q: %w", name, err)
+			}
+			if o.ID <= prev {
+				it.Close()
+				return nil, fmt.Errorf("invariant: byID scan of %q out of order: %d after %d", name, o.ID, prev)
+			}
+			prev = o.ID
+			objs[o.ID] = o.state()
+		}
+		if err := it.Close(); err != nil {
+			return nil, fmt.Errorf("close scan %q: %w", name, err)
+		}
+		st[name] = objs
+	}
+	return st, nil
+}
+
+// checkFull verifies the whole database against the shadow model: the full
+// scan matches, both indexes answer exact/range/full queries consistently
+// with the objects, and the Merkle audit passes.
+func (h *harness) checkFull() error {
+	want := h.sh.Cur()
+	got, err := scanState(h.db)
+	if err != nil {
+		return err
+	}
+	if got.Digest() != want.Digest() {
+		return fmt.Errorf("invariant: state divergence: %s", want.Diff(got))
+	}
+	if err := h.checkIndexes(want); err != nil {
+		return err
+	}
+	if err := h.db.Verify(); err != nil {
+		return fmt.Errorf("invariant: Verify failed on healthy store: %w", err)
+	}
+	return nil
+}
+
+// checkIndexes probes both indexes of every collection against the
+// expected state: byID exact hits and misses, a byID range window, the
+// full byGroup scan as a multiset, and one byGroup bucket.
+func (h *harness) checkIndexes(want State) error {
+	txn := h.db.BeginReadOnly()
+	defer txn.Abort()
+	cols := make([]string, 0, len(want))
+	for col := range want {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	for _, col := range cols {
+		objs := want[col]
+		hdl, err := txn.ReadCollection(col)
+		if err != nil {
+			return fmt.Errorf("index check open %q: %w", col, err)
+		}
+		ids := sortedIDs(objs)
+
+		if len(ids) > 0 {
+			for i := 0; i < 3; i++ {
+				id := ids[h.rng.Intn(len(ids))]
+				n, st, err := probeExact(hdl, id)
+				if err != nil {
+					return fmt.Errorf("index check %s/%d: %w", col, id, err)
+				}
+				if n != 1 || st != objs[id] {
+					return fmt.Errorf("invariant: byID exact %s/%d: n=%d %+v, want n=1 %+v", col, id, n, st, objs[id])
+				}
+			}
+			if err := h.checkRange(hdl, col, ids, objs); err != nil {
+				return err
+			}
+		}
+		missing := h.nextID + 1 + int64(h.rng.Intn(1000))
+		if n, _, err := probeExact(hdl, missing); err != nil {
+			return fmt.Errorf("index check %s/missing: %w", col, err)
+		} else if n != 0 {
+			return fmt.Errorf("invariant: byID exact %s/%d (never inserted) matched %d objects", col, missing, n)
+		}
+
+		if err := h.checkGroups(hdl, col, objs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRange verifies one random byID range window (inclusive bounds).
+func (h *harness) checkRange(hdl *tdb.Collection, col string, ids []int64, objs map[int64]ObjState) error {
+	lo := ids[h.rng.Intn(len(ids))] - int64(h.rng.Intn(3))
+	hi := ids[h.rng.Intn(len(ids))] + int64(h.rng.Intn(3))
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var wantIDs []int64
+	for _, id := range ids {
+		if id >= lo && id <= hi {
+			wantIDs = append(wantIDs, id)
+		}
+	}
+	it, err := hdl.QueryRange(byID(), tdb.IntKey(lo), tdb.IntKey(hi))
+	if err != nil {
+		return fmt.Errorf("range query %s[%d..%d]: %w", col, lo, hi, err)
+	}
+	var gotIDs []int64
+	for it.Next() {
+		o, err := tdb.ReadAs[*Obj](it)
+		if err != nil {
+			it.Close()
+			return fmt.Errorf("range read %s: %w", col, err)
+		}
+		if o.state() != objs[o.ID] {
+			it.Close()
+			return fmt.Errorf("invariant: range scan %s/%d state %+v, want %+v", col, o.ID, o.state(), objs[o.ID])
+		}
+		gotIDs = append(gotIDs, o.ID)
+	}
+	if err := it.Close(); err != nil {
+		return fmt.Errorf("range close %s: %w", col, err)
+	}
+	if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+		return fmt.Errorf("invariant: byID range %s[%d..%d] = %v, want %v", col, lo, hi, gotIDs, wantIDs)
+	}
+	return nil
+}
+
+// checkGroups verifies the non-unique hash index: the full scan covers
+// every object exactly once, and one random bucket returns exactly the ids
+// with that group.
+func (h *harness) checkGroups(hdl *tdb.Collection, col string, objs map[int64]ObjState) error {
+	it, err := hdl.Query(byGroup())
+	if err != nil {
+		return fmt.Errorf("byGroup scan %q: %w", col, err)
+	}
+	seen := map[int64]bool{}
+	for it.Next() {
+		o, err := tdb.ReadAs[*Obj](it)
+		if err != nil {
+			it.Close()
+			return fmt.Errorf("byGroup read %q: %w", col, err)
+		}
+		if seen[o.ID] {
+			it.Close()
+			return fmt.Errorf("invariant: byGroup scan of %q yields %d twice", col, o.ID)
+		}
+		seen[o.ID] = true
+		if want, ok := objs[o.ID]; !ok || o.state() != want {
+			it.Close()
+			return fmt.Errorf("invariant: byGroup scan of %q: object %d = %+v, want %+v (present %v)",
+				col, o.ID, o.state(), want, ok)
+		}
+	}
+	if err := it.Close(); err != nil {
+		return fmt.Errorf("byGroup close %q: %w", col, err)
+	}
+	if len(seen) != len(objs) {
+		return fmt.Errorf("invariant: byGroup scan of %q covered %d objects, want %d", col, len(seen), len(objs))
+	}
+
+	g := h.rng.Int63n(groupSpace)
+	var wantIDs []int64
+	for id, st := range objs {
+		if st.Group == g {
+			wantIDs = append(wantIDs, id)
+		}
+	}
+	sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+	bit, err := hdl.QueryExact(byGroup(), tdb.IntKey(g))
+	if err != nil {
+		return fmt.Errorf("byGroup bucket %q/%d: %w", col, g, err)
+	}
+	var gotIDs []int64
+	for bit.Next() {
+		o, err := tdb.ReadAs[*Obj](bit)
+		if err != nil {
+			bit.Close()
+			return fmt.Errorf("byGroup bucket read %q: %w", col, err)
+		}
+		if o.Group != g {
+			bit.Close()
+			return fmt.Errorf("invariant: byGroup bucket %d of %q returned object %d with group %d", g, col, o.ID, o.Group)
+		}
+		gotIDs = append(gotIDs, o.ID)
+	}
+	if err := bit.Close(); err != nil {
+		return fmt.Errorf("byGroup bucket close %q: %w", col, err)
+	}
+	sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+	if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+		return fmt.Errorf("invariant: byGroup bucket %d of %q = %v, want %v", g, col, gotIDs, wantIDs)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import "tdb"
+
+// objClass is the chaos workload's persistent class id (outside the ranges
+// the examples and benchmarks use).
+const objClass tdb.ClassID = 7401
+
+// colPool is the fixed set of collection names the generator draws from —
+// DRM-flavored, like the paper's meter-store use case. A fixed pool keeps
+// collection create/remove cycles exercising the same metadata slots.
+var colPool = []string{"meters", "rights", "audit", "keys"}
+
+// Obj is the chaos workload's persistent object: an indexed id, a small
+// group space for the non-unique index, a counter-like value, and a
+// variable-length pad so objects span a range of chunk sizes.
+type Obj struct {
+	ID    int64
+	Group int64
+	Val   int64
+	Pad   []byte
+}
+
+// ClassID implements tdb.Object.
+func (o *Obj) ClassID() tdb.ClassID { return objClass }
+
+// Pickle implements tdb.Object.
+func (o *Obj) Pickle(p *tdb.Pickler) {
+	p.Int64(o.ID)
+	p.Int64(o.Group)
+	p.Int64(o.Val)
+	p.BytesVal(o.Pad)
+}
+
+// Unpickle implements tdb.Object.
+func (o *Obj) Unpickle(u *tdb.Unpickler) error {
+	o.ID = u.Int64()
+	o.Group = u.Int64()
+	o.Val = u.Int64()
+	o.Pad = u.BytesVal()
+	return u.Err()
+}
+
+// state summarizes the object for the shadow model.
+func (o *Obj) state() ObjState {
+	return ObjState{Group: o.Group, Val: o.Val, PadLen: len(o.Pad), PadSum: padSum(o.Pad)}
+}
+
+func padSum(p []byte) uint64 {
+	var s uint64
+	for _, b := range p {
+		s += uint64(b)
+	}
+	return s
+}
+
+// byID is the unique B-tree primary index (exact, range, and ordered scans).
+func byID() tdb.GenericIndexer {
+	return tdb.NewIndexer("id", true, tdb.BTree,
+		func(o *Obj) tdb.IntKey { return tdb.IntKey(o.ID) })
+}
+
+// byGroup is the non-unique hash index (exact and full scans).
+func byGroup() tdb.GenericIndexer {
+	return tdb.NewIndexer("group", false, tdb.HashTable,
+		func(o *Obj) tdb.IntKey { return tdb.IntKey(o.Group) })
+}
+
+// indexers returns fresh instances of both indexers (handles bind indexer
+// instances per transaction).
+func indexers() []tdb.GenericIndexer {
+	return []tdb.GenericIndexer{byID(), byGroup()}
+}

@@ -191,7 +191,7 @@ func (s *Store) pickVictim(aggressive bool, chosen map[uint64]bool) (uint64, boo
 func (s *Store) evacuate(seg *segment) error {
 	start := position{seg: seg.num, off: segHeaderSize}
 	copied := int64(0)
-	_, err := s.scanLog(start, func(loc Location, typ byte, body []byte) (bool, error) {
+	end, err := s.scanLog(start, func(loc Location, typ byte, body []byte) (bool, error) {
 		if loc.Seg != seg.num {
 			return false, nil
 		}
@@ -279,7 +279,102 @@ func (s *Store) evacuate(seg *segment) error {
 		return err
 	}
 	s.statCleanedBytes += copied
+	if end.seg == seg.num && end.off < seg.size {
+		// The byte-walk stopped at structurally invalid bytes mid-segment.
+		// That is not the end of the segment's data: a record corrupted at
+		// rest and since healed by Repair leaves garbage bytes here while
+		// records beyond it may still be live, and a corrupted length field
+		// means the walk cannot even find the next boundary. Fall back to
+		// evacuating by the location map, which is the authority on what is
+		// live regardless of the bytes in between.
+		return s.evacuateDamaged(seg)
+	}
 	return nil
+}
+
+// evacuateDamaged relocates the remaining live records of a segment whose
+// linear byte-walk is broken by structurally invalid bytes. Every chunk
+// entry the location map still places in the segment is copied out after
+// validation against its Merkle hash, and every live map node stored there
+// is marked dirty so the cleaning cycle's closing checkpoint rewrites it at
+// the tail (with its usual liveness accounting). Chunks whose records fail
+// validation abort the clean with ErrTampered — they need Scrub and Repair
+// first.
+func (s *Store) evacuateDamaged(seg *segment) error {
+	type liveChunk struct {
+		cid ChunkID
+		e   entry
+	}
+	// Collect first: relocation mutates the map being walked.
+	var chunks []liveChunk
+	if err := s.lm.forEachEntry(s.lm.root, func(cid ChunkID, e entry) error {
+		if e.loc.Seg == seg.num {
+			chunks = append(chunks, liveChunk{cid, e})
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, c := range chunks {
+		typ, body, err := s.segs.readRecord(c.e.loc)
+		if err != nil {
+			return err
+		}
+		cid, ciphertext, perr := parseWriteRecord(body)
+		if typ != recWrite || perr != nil || cid != c.cid {
+			return fmt.Errorf("%w: chunk %d record unreadable during cleaning", ErrTampered, c.cid)
+		}
+		if !sec.HashEqual(s.suite.Hash(ciphertext), c.e.hash) {
+			return fmt.Errorf("%w: chunk %d fails validation during cleaning", ErrTampered, c.cid)
+		}
+		rec := encodeRecord(recWrite, body)
+		newLoc, err := s.segs.append(rec, s.cfg.SegmentSize)
+		if err != nil {
+			return err
+		}
+		if _, err := s.lm.set(c.cid, entry{loc: newLoc, hash: c.e.hash}); err != nil {
+			return err
+		}
+		s.adjustLive(newLoc, int64(newLoc.Len))
+		s.adjustLive(c.e.loc, -int64(c.e.loc.Len))
+		s.residualBytes += int64(newLoc.Len)
+		s.statCleanedBytes += int64(newLoc.Len)
+	}
+	return s.dirtyNodesIn(seg.num)
+}
+
+// dirtyNodesIn marks every live location-map node stored in segment num
+// dirty, loading children only along branches whose stored copies lie in
+// that segment. dirtyNodes() propagates the mark to ancestors, so the next
+// checkpoint relocates the marked nodes and updates their parents.
+func (s *Store) dirtyNodesIn(num uint64) error {
+	var walk func(n *mapNode) error
+	walk = func(n *mapNode) error {
+		if !n.loc.IsZero() && n.loc.Seg == num {
+			n.dirty = true
+		}
+		if n.level == 0 {
+			return nil
+		}
+		for i := range n.entries {
+			kid := n.kids[i]
+			if kid == nil {
+				if n.entries[i].isEmpty() || n.entries[i].loc.Seg != num {
+					continue
+				}
+				var err error
+				kid, err = s.lm.loadChild(n, i)
+				if err != nil {
+					return err
+				}
+			}
+			if err := walk(kid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(s.lm.root)
 }
 
 // cachedNodeAt returns the in-memory node at (level,index), loading it from

@@ -3,6 +3,7 @@ package objectstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"tdb/internal/chunkstore"
 )
@@ -382,7 +383,8 @@ func (t *Txn) Commit(durable bool) error {
 	batch := t.s.chunks.NewBatch()
 	var unusedIDs []chunkstore.ChunkID
 	t.staged = nil
-	for oid, to := range t.opened {
+	for _, oid := range t.openedOIDs() {
+		to := t.opened[oid]
 		switch {
 		case to.removed && to.inserted:
 			// Inserted and removed in the same transaction: nothing to
@@ -553,11 +555,27 @@ func (t *Txn) finishReadOnly() error {
 	return nil
 }
 
+// openedOIDs returns the transaction's touched object ids in ascending
+// order. Commit and abort walk the write set in this order so chunk-id
+// deallocations and releases reach the allocator's free list in a stable
+// order: a deterministic workload then produces the same on-disk id layout
+// on every run, which is what lets the chaos oracle promise byte-identical
+// traces per seed.
+func (t *Txn) openedOIDs() []ObjectID {
+	oids := make([]ObjectID, 0, len(t.opened))
+	for oid := range t.opened {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}
+
 // finishLocked releases pins and locks with the store mutex held by design
 // (an aborted insert returns its chunk id to the allocator under it); with
 // evictWritten it also discards mutated cache entries. Caller holds s.mu.
 func (t *Txn) finishLocked(evictWritten bool) {
-	for oid, to := range t.opened {
+	for _, oid := range t.openedOIDs() {
+		to := t.opened[oid]
 		to.entry.ent.Unpin()
 		if evictWritten {
 			if to.inserted {

@@ -28,6 +28,13 @@ import (
 //     as of its last Sync, discarding writes the device never acknowledged.
 //
 // The zero budget (-1) means "never crash".
+//
+// Beyond the deterministic every-Nth modes, the store supports
+// probabilistic modes (SetTransientProb, SetRotProb) driven by an injected
+// random source (SetRand): a chaos harness seeds the source once and the
+// whole fault schedule — which operations fail, which bits rot and where —
+// replays identically from that seed. Probabilistic modes never use
+// package-level or global randomness.
 type FaultStore struct {
 	mu sync.Mutex
 	// inner is the wrapped store.
@@ -57,6 +64,27 @@ type FaultStore struct {
 	// WriteAt before it reaches the inner store.
 	rotEvery int64
 	rotSeq   int64
+
+	// rand is the injected random source backing the probabilistic modes.
+	// It is only ever called with mu held, so sources need not be
+	// goroutine-safe; a seeded Splitmix64 gives reproducible schedules.
+	rand FaultRand
+	// readProb/writeProb/probFailures configure probabilistic transient
+	// errors: each gated read (resp. mutating op) independently fails with
+	// the given probability, then succeeds after probFailures retries.
+	readProb     float64
+	writeProb    float64
+	probFailures int
+	// rotProb makes each WriteAt rot with the given probability; the rotten
+	// byte and bit are selected by the injected source.
+	rotProb float64
+	// faultFilter, when set, restricts the probabilistic modes to files it
+	// approves. A harness uses it to model per-device failure processes:
+	// the disk (segments, superblock) rots and times out, while the file
+	// emulating the one-way counter stands in for separate hardware whose
+	// increments are not idempotent and must not draw spurious failures.
+	// Crash budgets and the deterministic every-Nth modes ignore the filter.
+	faultFilter func(name string) bool
 
 	// loseUnsynced arms the write-back cache model: the pre-mutation content
 	// of every touched file is retained until that file's Sync, so
@@ -143,6 +171,83 @@ func (s *FaultStore) SetWriteRot(every int64) {
 	defer s.mu.Unlock()
 	s.rotEvery = every
 	s.rotSeq = 0
+}
+
+// FaultRand is a deterministic random source injected into a FaultStore's
+// probabilistic modes. It is always invoked with the store mutex held, so
+// implementations need not be goroutine-safe.
+type FaultRand func() uint64
+
+// Splitmix64 returns a FaultRand producing the splitmix64 sequence for
+// seed. The same seed always yields the same fault schedule.
+func Splitmix64(seed uint64) FaultRand {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// SetRand injects the random source backing the probabilistic modes
+// (SetTransientProb, SetRotProb). nil reverts to the built-in fixed-seed
+// source, so schedules are reproducible even when no harness seeds one.
+func (s *FaultStore) SetRand(r FaultRand) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rand = r
+}
+
+// SetFaultFilter restricts the probabilistic modes to files keep approves
+// (by store name). nil lifts the restriction. Crash budgets and the
+// deterministic every-Nth modes are unaffected.
+func (s *FaultStore) SetFaultFilter(keep func(name string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faultFilter = keep
+}
+
+// SetTransientProb makes each gated ReadAt fail with probability readP and
+// each mutating operation fail with probability writeP (both ErrTransient);
+// a failed operation succeeds after failures retried attempts. Probabilities
+// <= 0 disable the respective injection. Draws come from the SetRand source.
+func (s *FaultStore) SetTransientProb(readP, writeP float64, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readProb = readP
+	s.writeProb = writeP
+	s.probFailures = failures
+}
+
+// SetRotProb makes each WriteAt silently flip one bit of its payload with
+// probability p; the afflicted byte and bit are chosen by the SetRand
+// source, so rot sites replay exactly from the seed. p <= 0 disables it.
+func (s *FaultStore) SetRotProb(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotProb = p
+}
+
+// randLocked returns the injected source, installing the fixed-seed default
+// on first probabilistic use. Caller holds s.mu.
+func (s *FaultStore) randLocked() FaultRand {
+	if s.rand == nil {
+		s.rand = Splitmix64(1)
+	}
+	return s.rand
+}
+
+// randFloatLocked draws a uniform [0,1) float. Caller holds s.mu.
+func (s *FaultStore) randFloatLocked() float64 {
+	return float64(s.randLocked()()>>11) / (1 << 53)
+}
+
+// filteredLocked reports whether the probabilistic modes apply to the named
+// file. Caller holds s.mu.
+func (s *FaultStore) filteredLocked(name string) bool {
+	return s.faultFilter == nil || s.faultFilter(name)
 }
 
 // SetLoseUnsynced toggles the write-back cache model. While enabled, the
@@ -243,9 +348,11 @@ func (s *FaultStore) FlipBit(name string, off int64, bit uint) error {
 	return nil
 }
 
-// injectTransient decides whether the operation identified by key fails
-// with an injected transient error this attempt. Caller holds s.mu.
-func (s *FaultStore) injectTransient(key string, seq *int64, every int64, failures int) bool {
+// injectTransient decides whether the operation identified by key (on the
+// named file) fails with an injected transient error this attempt, drawing
+// from the deterministic every-Nth schedule and then the probabilistic one.
+// Caller holds s.mu.
+func (s *FaultStore) injectTransient(name, key string, seq *int64, every int64, failures int, prob float64) bool {
 	if rem, ok := s.afflicted[key]; ok {
 		if rem > 0 {
 			s.afflicted[key] = rem - 1
@@ -256,12 +363,16 @@ func (s *FaultStore) injectTransient(key string, seq *int64, every int64, failur
 		delete(s.afflicted, key)
 		return false
 	}
-	if every <= 0 || failures <= 0 {
-		return false
+	if every > 0 && failures > 0 {
+		*seq++
+		if *seq%every == 0 {
+			s.afflicted[key] = failures - 1
+			s.stats.TransientErrors++
+			return true
+		}
 	}
-	*seq++
-	if *seq%every == 0 {
-		s.afflicted[key] = failures - 1
+	if prob > 0 && s.probFailures > 0 && s.filteredLocked(name) && s.randFloatLocked() < prob {
+		s.afflicted[key] = s.probFailures - 1
 		s.stats.TransientErrors++
 		return true
 	}
@@ -269,16 +380,16 @@ func (s *FaultStore) injectTransient(key string, seq *int64, every int64, failur
 }
 
 // beforeWrite consumes one unit of write budget for the mutating operation
-// identified by key. It returns (tear, err): tear is true when this is the
-// final, torn write.
-func (s *FaultStore) beforeWrite(key string) (bool, error) {
+// identified by key on the named file. It returns (tear, err): tear is true
+// when this is the final, torn write.
+func (s *FaultStore) beforeWrite(name, key string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.crashed {
 		return false, ErrCrashed
 	}
 	s.stats.Writes++
-	if s.injectTransient(key, &s.writeSeq, s.writeEvery, s.writeFailures) {
+	if s.injectTransient(name, key, &s.writeSeq, s.writeEvery, s.writeFailures, s.writeProb) {
 		return false, fmt.Errorf("platform: %s: %w", key, ErrTransient)
 	}
 	if s.writesLeft < 0 {
@@ -298,14 +409,14 @@ func (s *FaultStore) beforeWrite(key string) (bool, error) {
 
 // beforeRead gates a read operation: crashed stores fail, and the read may
 // draw an injected transient error.
-func (s *FaultStore) beforeRead(key string) error {
+func (s *FaultStore) beforeRead(name, key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.crashed {
 		return ErrCrashed
 	}
 	s.stats.Reads++
-	if s.injectTransient(key, &s.readSeq, s.readEvery, s.readFailures) {
+	if s.injectTransient(name, key, &s.readSeq, s.readEvery, s.readFailures, s.readProb) {
 		return fmt.Errorf("platform: %s: %w", key, ErrTransient)
 	}
 	return nil
@@ -349,21 +460,31 @@ func (s *FaultStore) noteSynced(name string) {
 }
 
 // maybeRot flips one bit of p (in a copy) when this write is selected for
-// rot. Caller holds s.mu.
-func (s *FaultStore) maybeRot(p []byte) []byte {
-	if s.rotEvery <= 0 || len(p) == 0 {
+// rot, by the every-Nth schedule or the probabilistic one. Caller holds
+// s.mu.
+func (s *FaultStore) maybeRot(name string, p []byte) []byte {
+	if len(p) == 0 {
 		return p
 	}
-	s.rotSeq++
-	if s.rotSeq%s.rotEvery != 0 {
-		return p
+	if s.rotEvery > 0 {
+		s.rotSeq++
+		if s.rotSeq%s.rotEvery == 0 {
+			rotten := append([]byte(nil), p...)
+			// Flip a middle bit so both short and long payloads are affected
+			// away from framing bytes often checked first.
+			rotten[len(rotten)/2] ^= 0x10
+			s.stats.BitsFlipped++
+			return rotten
+		}
 	}
-	rotten := append([]byte(nil), p...)
-	// Flip a middle bit so both short and long payloads are affected away
-	// from framing bytes often checked first.
-	rotten[len(rotten)/2] ^= 0x10
-	s.stats.BitsFlipped++
-	return rotten
+	if s.rotProb > 0 && s.filteredLocked(name) && s.randFloatLocked() < s.rotProb {
+		rotten := append([]byte(nil), p...)
+		r := s.randLocked()
+		rotten[int(r()%uint64(len(rotten)))] ^= 1 << (r() % 8)
+		s.stats.BitsFlipped++
+		return rotten
+	}
+	return p
 }
 
 // Create implements UntrustedStore. File creation is a mutating operation:
@@ -371,7 +492,7 @@ func (s *FaultStore) maybeRot(p []byte) []byte {
 func (s *FaultStore) Create(name string) (File, error) {
 	// A "torn" create is meaningless; the tear flag only marks that the
 	// budget is exhausted, which subsequent operations will observe.
-	if _, err := s.beforeWrite("create:" + name); err != nil {
+	if _, err := s.beforeWrite(name, "create:"+name); err != nil {
 		return nil, err
 	}
 	f, err := s.inner.Create(name)
@@ -406,7 +527,7 @@ func (s *FaultStore) Open(name string) (File, error) {
 
 // Remove implements UntrustedStore.
 func (s *FaultStore) Remove(name string) error {
-	if _, err := s.beforeWrite("remove:" + name); err != nil {
+	if _, err := s.beforeWrite(name, "remove:"+name); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -440,14 +561,14 @@ type faultFile struct {
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.store.beforeRead(fmt.Sprintf("read:%s@%d", f.name, off)); err != nil {
+	if err := f.store.beforeRead(f.name, fmt.Sprintf("read:%s@%d", f.name, off)); err != nil {
 		return 0, err
 	}
 	return f.inner.ReadAt(p, off)
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	tear, err := f.store.beforeWrite(fmt.Sprintf("write:%s@%d", f.name, off))
+	tear, err := f.store.beforeWrite(f.name, fmt.Sprintf("write:%s@%d", f.name, off))
 	if err != nil {
 		return 0, err
 	}
@@ -456,7 +577,7 @@ func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
 		f.store.mu.Unlock()
 		return 0, err
 	}
-	p = f.store.maybeRot(p)
+	p = f.store.maybeRot(f.name, p)
 	f.store.mu.Unlock()
 	if tear && len(p) > 1 {
 		half := len(p) / 2
@@ -476,7 +597,7 @@ func (f *faultFile) Size() (int64, error) {
 }
 
 func (f *faultFile) Truncate(size int64) error {
-	if _, err := f.store.beforeWrite(fmt.Sprintf("truncate:%s@%d", f.name, size)); err != nil {
+	if _, err := f.store.beforeWrite(f.name, fmt.Sprintf("truncate:%s@%d", f.name, size)); err != nil {
 		return err
 	}
 	f.store.mu.Lock()
@@ -489,7 +610,7 @@ func (f *faultFile) Truncate(size int64) error {
 }
 
 func (f *faultFile) Sync() error {
-	if _, err := f.store.beforeWrite("sync:" + f.name); err != nil {
+	if _, err := f.store.beforeWrite(f.name, "sync:"+f.name); err != nil {
 		return err
 	}
 	if err := f.inner.Sync(); err != nil {

@@ -309,3 +309,144 @@ func TestFaultStoreLoseUnsyncedComposesWithBudget(t *testing.T) {
 		t.Fatalf("content after write-back crash: %q, want %q", buf, "base")
 	}
 }
+
+// probScript runs a fixed operation script against a fresh FaultStore with
+// the probabilistic modes armed from the given seed, returning the observed
+// fault schedule: for each op, whether it drew a transient error, plus the
+// final stored bytes (capturing rot sites).
+func probScript(t *testing.T, seed uint64) (schedule []bool, stored []byte) {
+	t.Helper()
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetRand(Splitmix64(seed))
+	fs.SetFaultFilter(func(name string) bool { return name != "exempt" })
+	fs.SetTransientProb(0.3, 0.3, 1)
+	fs.SetRotProb(0.3)
+	f, err := fs.Create("a")
+	if err != nil {
+		// Create can draw an injected failure; retry once (failures=1).
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("Create: %v", err)
+		}
+		schedule = append(schedule, true)
+		if f, err = fs.Create("a"); err != nil {
+			t.Fatalf("Create retry: %v", err)
+		}
+	} else {
+		schedule = append(schedule, false)
+	}
+	payload := []byte("twelve-bytes")
+	for i := 0; i < 16; i++ {
+		off := int64(i * len(payload))
+		_, err := f.WriteAt(payload, off)
+		if errors.Is(err, ErrTransient) {
+			schedule = append(schedule, true)
+			if _, err = f.WriteAt(payload, off); err != nil {
+				t.Fatalf("write %d retry: %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		} else {
+			schedule = append(schedule, false)
+		}
+	}
+	buf := make([]byte, 16*len(payload))
+	for i := 0; i < 4; i++ {
+		_, err := f.ReadAt(buf, 0)
+		if errors.Is(err, ErrTransient) {
+			schedule = append(schedule, true)
+			if _, err = f.ReadAt(buf, 0); err != nil {
+				t.Fatalf("read %d retry: %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		} else {
+			schedule = append(schedule, false)
+		}
+	}
+	return schedule, buf
+}
+
+// TestFaultStoreProbabilisticReplay proves the satellite guarantee: the
+// probabilistic fault schedule — which ops fail, which bits rot, and where —
+// is a pure function of the injected seed.
+func TestFaultStoreProbabilisticReplay(t *testing.T) {
+	sched1, bytes1 := probScript(t, 42)
+	sched2, bytes2 := probScript(t, 42)
+	if len(sched1) != len(sched2) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(sched1), len(sched2))
+	}
+	for i := range sched1 {
+		if sched1[i] != sched2[i] {
+			t.Fatalf("schedules diverge at op %d: %v vs %v", i, sched1, sched2)
+		}
+	}
+	if string(bytes1) != string(bytes2) {
+		t.Fatalf("rot sites diverge between same-seed runs")
+	}
+	anyFault := false
+	for _, hit := range sched1 {
+		anyFault = anyFault || hit
+	}
+	rotten := false
+	for i := range bytes1 {
+		if bytes1[i] != []byte("twelve-bytes")[i%12] {
+			rotten = true
+		}
+	}
+	if !anyFault && !rotten {
+		t.Fatal("probabilistic modes injected nothing at p=0.3 over 21 ops")
+	}
+	// A different seed must produce a different schedule (overwhelmingly).
+	sched3, bytes3 := probScript(t, 43)
+	same := len(sched1) == len(sched3) && string(bytes1) == string(bytes3)
+	if same {
+		for i := range sched1 {
+			if sched1[i] != sched3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+// TestFaultStoreFaultFilterExemptsFiles proves the probabilistic modes skip
+// filtered files entirely while deterministic budgets still apply.
+func TestFaultStoreFaultFilterExemptsFiles(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem)
+	fs.SetRand(Splitmix64(7))
+	fs.SetFaultFilter(func(name string) bool { return name != "counter" })
+	fs.SetTransientProb(1.0, 1.0, 3) // every unfiltered op fails
+	fs.SetRotProb(1.0)
+	f, err := fs.Create("counter")
+	if err != nil {
+		t.Fatalf("Create on exempt file drew a fault: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := f.WriteAt([]byte("v"), int64(i)); err != nil {
+			t.Fatalf("write %d on exempt file drew a fault: %v", i, err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d on exempt file drew a fault: %v", i, err)
+		}
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read on exempt file drew a fault: %v", err)
+	}
+	if string(buf) != "vvvvvvvv" {
+		t.Fatalf("exempt file rotted: %q", buf)
+	}
+	// The crash budget ignores the filter: exempt files still crash.
+	fs.SetWriteBudget(1)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("budgeted write: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write past budget on exempt file: %v, want ErrCrashed", err)
+	}
+}
