@@ -66,6 +66,11 @@ check: faults chaos
 	$(GO) test -race ./...
 	$(MAKE) bench-smoke
 
+# bench reproduces the commit-pipeline / read-cache numbers recorded in
+# EXPERIMENTS.md. Raw outputs are not committed; to regenerate the rest of
+# the recorded evaluation, see "How to regenerate" at the top of
+# EXPERIMENTS.md (cmd/footprint for Figure 8, cmd/tdbbench for Figures
+# 9-11 and the suite ablation, `go test -bench` for the micro ablations).
 bench:
 	$(GO) test ./internal/chunkstore/ -run XXX -bench 'BenchmarkCommitParallelCrypto|BenchmarkConcurrentRead' -benchtime 1s
 

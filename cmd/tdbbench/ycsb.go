@@ -125,7 +125,6 @@ func runYCSBWorkload(w ycsbWorkload, workers, opsPer int) (ycsbRunResult, error)
 		go func(wk int) {
 			defer wg.Done()
 			pick := ycsbPicker(w, int64(100+wk))
-			//tdblint:ignore secret-hygiene benchmark op mix, no secret material
 			mix := rand.New(rand.NewSource(int64(200 + wk)))
 			lats[wk] = make([]time.Duration, 0, opsPer)
 			for i := 0; i < opsPer; i++ {

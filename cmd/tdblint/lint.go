@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -22,6 +23,13 @@ import (
 //	raw-io-funnel    no direct platform-File ReadAt/WriteAt/Sync/Truncate in
 //	                 chunkstore outside the RetryPolicy funnel (the retrying
 //	                 segmentSet/superblock helpers)
+//	plaintext-flow   interprocedural taint tracking: no value derived from a
+//	                 Decrypt result, sec key material, or caller-supplied
+//	                 plaintext reaches an untrusted write without passing
+//	                 through sec.Suite.Encrypt (DESIGN.md §9)
+//	lock-order       the module-wide mutex acquisition-order graph is
+//	                 acyclic: no lock is ever taken in an order that inverts
+//	                 an established edge
 //
 // Findings are suppressed, one site at a time, with
 //
@@ -61,6 +69,20 @@ type linter struct {
 	serial map[*ast.FuncDecl]bool
 	// reach memoizes sink reachability for call-graph walks.
 	reach map[declKey]*sinkHit
+
+	// plaintext-flow state (dataflow.go): per-function summaries, the
+	// module-wide tainted-field set, finding dedup, and the fixpoint
+	// change flag.
+	flows         map[*types.Func]*flowSummary
+	taintedFields map[fieldKey]string
+	flowSeen      map[string]bool
+	flowPublic    map[*ast.FuncDecl]bool
+	flowChanged   bool
+
+	// lock-order state (lockorder.go): transitive acquisition summaries
+	// and lock-class display labels.
+	acq        map[*types.Func]map[string]lockAcq
+	lockLabels map[string]string
 }
 
 type ignoreDirective struct {
@@ -72,6 +94,7 @@ type ignoreDirective struct {
 
 var analyzerNames = []string{
 	"locked-io", "err-taxonomy", "secret-hygiene", "clock-injection", "unlock-path", "raw-io-funnel",
+	"plaintext-flow", "lock-order",
 }
 
 // run executes every enabled analyzer and returns the surviving findings
@@ -104,6 +127,14 @@ func (l *linter) run() []Finding {
 		if l.enabled["raw-io-funnel"] {
 			l.rawIOFunnel(pkg)
 		}
+	}
+	// The dataflow analyzers are module-wide — summaries cross package
+	// boundaries — so they run once, after the per-package suite.
+	if l.enabled["plaintext-flow"] {
+		l.plaintextFlow()
+	}
+	if l.enabled["lock-order"] {
+		l.lockOrder()
 	}
 	l.reportBareIgnores()
 	sort.Slice(l.findings, func(i, j int) bool {
@@ -163,9 +194,11 @@ func (l *linter) report(pos token.Pos, analyzer, format string, args ...any) {
 	l.findings = append(l.findings, Finding{Pos: p, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
 }
 
-// reportBareIgnores flags ignore directives that name no analyzer or give
-// no reason: a suppression without a recorded justification is itself a
-// violation of the discipline the suite enforces.
+// reportBareIgnores flags ignore directives that name no analyzer, give no
+// reason, or — when their analyzer actually ran — suppressed nothing: a
+// suppression without a recorded justification is itself a violation of the
+// discipline the suite enforces, and a stale one hides the next real
+// finding on its line.
 func (l *linter) reportBareIgnores() {
 	valid := make(map[string]bool, len(analyzerNames))
 	for _, n := range analyzerNames {
@@ -180,6 +213,9 @@ func (l *linter) reportBareIgnores() {
 			case d.reason == "":
 				l.findings = append(l.findings, Finding{Pos: d.pos, Analyzer: "bare-ignore",
 					Message: "//tdblint:ignore without a reason; document why the invariant does not apply here"})
+			case !d.used && l.enabled[d.analyzer]:
+				l.findings = append(l.findings, Finding{Pos: d.pos, Analyzer: "bare-ignore",
+					Message: fmt.Sprintf("//tdblint:ignore for %s suppressed nothing; remove the stale directive", d.analyzer)})
 			}
 		}
 	}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -34,15 +38,21 @@ func TestFixtureFindings(t *testing.T) {
 	want := []string{
 		`internal/chunkstore/clock.go:11: [clock-injection] bare time.Sleep in clock-injected code; thread the injectable clock (see chunkstore.RetryPolicy.Sleep) so tests stay deterministic`,
 		`internal/chunkstore/clock.go:16: [clock-injection] bare time.Now in clock-injected code; thread the injectable clock (see chunkstore.RetryPolicy.Sleep) so tests stay deterministic`,
+		`internal/chunkstore/flow.go:32: [plaintext-flow] plaintext decrypted at internal/chunkstore/flow.go:31 reaches writeRaw → (fixmod/internal/platform.File).WriteAt without passing through sec.Suite.Encrypt; encrypt before handing bytes to the untrusted store`,
+		`internal/chunkstore/flow.go:38: [plaintext-flow] caller-supplied plaintext parameter "plain" of leakParam reaches writeRaw → (fixmod/internal/platform.File).WriteAt without passing through sec.Suite.Encrypt; encrypt before handing bytes to the untrusted store`,
+		`internal/chunkstore/flow.go:50: [plaintext-flow] plaintext decrypted at internal/chunkstore/flow.go:43 reaches writeRaw → (fixmod/internal/platform.File).WriteAt without passing through sec.Suite.Encrypt; encrypt before handing bytes to the untrusted store`,
 		`internal/chunkstore/ignore.go:15: [bare-ignore] //tdblint:ignore without a reason; document why the invariant does not apply here`,
 		`internal/chunkstore/ignore.go:16: [err-taxonomy] fmt.Errorf without %w mints an unclassifiable error; wrap a package sentinel or the underlying cause`,
 		`internal/chunkstore/ignore.go:21: [bare-ignore] //tdblint:ignore names unknown analyzer "spellcheck"`,
 		`internal/chunkstore/ignore.go:22: [err-taxonomy] fmt.Errorf without %w mints an unclassifiable error; wrap a package sentinel or the underlying cause`,
+		`internal/chunkstore/ignore.go:28: [bare-ignore] //tdblint:ignore for clock-injection suppressed nothing; remove the stale directive`,
 		`internal/chunkstore/lockedio.go:21: [locked-io] (fixmod/internal/platform.File).WriteAt called while s.mu is held; move I/O and crypto off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
 		`internal/chunkstore/lockedio.go:21: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/lockedio.go:29: [locked-io] call reaches platform/sec work while s.mu is held (digest → (fixmod/internal/sec.Suite).Hash); move it off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
 		`internal/chunkstore/lockedio.go:39: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/lockedio.go:51: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
+		`internal/chunkstore/lockorder.go:23: [lock-order] chunkstore.door.mu acquired while chunkstore.wall.mu is held creates a cycle in the module lock graph (chunkstore.wall.mu → chunkstore.door.mu → chunkstore.wall.mu); take module mutexes in one global order`,
+		`internal/chunkstore/lockorder.go:38: [lock-order] chunkstore.wall.mu acquired while chunkstore.door.mu is held (via grabWall) creates a cycle in the module lock graph (chunkstore.door.mu → chunkstore.wall.mu → chunkstore.door.mu); take module mutexes in one global order`,
 		`internal/chunkstore/rawio.go:19: [raw-io-funnel] direct (fixmod/internal/platform.File).ReadAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/rawio.go:24: [raw-io-funnel] direct (fixmod/internal/platform.File).Truncate bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/rawio.go:29: [raw-io-funnel] direct (fixmod/internal/platform.File).Sync bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
@@ -54,6 +64,7 @@ func TestFixtureFindings(t *testing.T) {
 		`internal/objectstore/mvcc.go:38: [locked-io] call reaches platform/sec work while vt.mu is held (Read → readLocked → (fixmod/internal/platform.File).ReadAt); move it off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
 		`internal/sec/hygiene.go:7: [secret-hygiene] "macKey" flows into fmt.Sprintf; secret material must never be formatted or logged`,
 		`internal/sec/hygiene.go:19: [secret-hygiene] "ivSeed" flows into fmt.Sprintf; secret material must never be formatted or logged`,
+		`internal/sec/keys.go:18: [plaintext-flow] key material derived at internal/sec/keys.go:17 reaches (fixmod/internal/platform.File).WriteAt without passing through sec.Suite.Encrypt; encrypt before handing bytes to the untrusted store`,
 		`internal/workload/workload.go:6: [secret-hygiene] math/rand imported outside _test.go; use crypto/rand near secret material`,
 	}
 	findings := runOn(t, filepath.Join("testdata", "src", "fixmod"))
@@ -87,6 +98,8 @@ func TestFixturePerAnalyzer(t *testing.T) {
 		"clock-injection": 2,
 		"unlock-path":     2,
 		"raw-io-funnel":   6, // rawio.go ×3, lockedio.go ×3 (raw WriteAt under a mutex is doubly wrong)
+		"plaintext-flow":  4, // flow.go ×3 (decrypt, plaintext param, field stash), keys.go ×1
+		"lock-order":      2, // both edges of the wall/door cycle in lockorder.go
 	}
 	for name, want := range counts {
 		findings := runOn(t, filepath.Join("testdata", "src", "fixmod"), name)
@@ -141,6 +154,51 @@ func TestLiveTreeClean(t *testing.T) {
 	findings := runOn(t, filepath.Join("..", ".."))
 	for _, f := range findings {
 		t.Errorf("live tree: %s", f)
+	}
+}
+
+// TestJSONOutput covers -json: one JSON object per finding per line, and
+// the classic rendering stays byte-identical without the flag.
+func TestJSONOutput(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "a/b.go", Line: 7}, Analyzer: "plaintext-flow", Message: `plaintext reaches the store`},
+		{Pos: token.Position{Filename: "c.go", Line: 12}, Analyzer: "lock-order", Message: "cycle"},
+	}
+	var buf bytes.Buffer
+	printFindings(&buf, findings, true)
+	type line struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	var got []line
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("unmarshal %q: %v", sc.Text(), err)
+		}
+		got = append(got, l)
+	}
+	want := []line{
+		{"a/b.go", 7, "plaintext-flow", "plaintext reaches the store"},
+		{"c.go", 12, "lock-order", "cycle"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d JSON lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	buf.Reset()
+	printFindings(&buf, findings, false)
+	plain := "a/b.go:7: [plaintext-flow] plaintext reaches the store\nc.go:12: [lock-order] cycle\n"
+	if buf.String() != plain {
+		t.Errorf("plain output:\n got  %q\n want %q", buf.String(), plain)
 	}
 }
 

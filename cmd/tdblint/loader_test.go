@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModuleFixture exercises the loader end to end over the fixture
+// module: discovery, import-path mapping, test-file separation, and the
+// function-declaration index the call-graph walks depend on.
+func TestLoadModuleFixture(t *testing.T) {
+	mod, err := loadModule(filepath.Join("testdata", "src", "fixmod"))
+	if err != nil {
+		t.Fatalf("loadModule: %v", err)
+	}
+	if mod.Path != "fixmod" {
+		t.Errorf("module path = %q, want %q", mod.Path, "fixmod")
+	}
+
+	byPath := make(map[string]*Package)
+	var order []string
+	for _, pkg := range mod.Pkgs {
+		byPath[pkg.Path] = pkg
+		order = append(order, pkg.Path)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Errorf("packages not sorted: %q before %q", order[i-1], order[i])
+		}
+	}
+	for _, want := range []string{
+		"fixmod/internal/chunkstore",
+		"fixmod/internal/platform",
+		"fixmod/internal/sec",
+	} {
+		if byPath[want] == nil {
+			t.Errorf("package %s not loaded (have %v)", want, order)
+		}
+	}
+
+	cs := byPath["fixmod/internal/chunkstore"]
+	if cs == nil {
+		t.Fatal("chunkstore fixture package missing")
+	}
+	if len(cs.Files) == 0 || cs.Types == nil || cs.Info == nil {
+		t.Errorf("chunkstore not type-checked: %d files, Types=%v", len(cs.Files), cs.Types)
+	}
+	if len(cs.TestFiles) == 0 {
+		t.Errorf("chunkstore _test.go sources not separated into TestFiles")
+	}
+
+	// The func-decl index must cover module functions and agree with the
+	// package each declaration came from.
+	found := false
+	for obj, fd := range mod.funcDecls {
+		if obj.Name() == "writeRaw" {
+			found = true
+			if mod.declPkg[fd] != cs {
+				t.Errorf("declPkg[writeRaw] = %v, want chunkstore", mod.declPkg[fd])
+			}
+			pos := mod.relPos(fd.Pos())
+			if pos.Filename != "internal/chunkstore/flow.go" {
+				t.Errorf("relPos(writeRaw) = %q, want internal/chunkstore/flow.go", pos.Filename)
+			}
+		}
+	}
+	if !found {
+		t.Error("funcDecls does not index chunkstore.writeRaw")
+	}
+
+	// Import-path/directory mapping must round-trip for every package.
+	for _, pkg := range mod.Pkgs {
+		if got := mod.dirImportPath(pkg.Dir); got != pkg.Path {
+			t.Errorf("dirImportPath(%s) = %q, want %q", pkg.Dir, got, pkg.Path)
+		}
+		if got := mod.importPathDir(pkg.Path); got != pkg.Dir {
+			t.Errorf("importPathDir(%s) = %q, want %q", pkg.Path, got, pkg.Dir)
+		}
+	}
+}
+
+// TestLoadModuleTestOnlyPackage builds a throwaway module whose only
+// package has nothing but _test.go sources; the loader must keep it
+// (suppression hygiene runs on tests) rather than erroring out.
+func TestLoadModuleTestOnlyPackage(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, body string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.21\n")
+	write("sub/only_test.go", "package sub\n\nimport \"testing\"\n\nfunc TestNothing(t *testing.T) {}\n")
+
+	mod, err := loadModule(root)
+	if err != nil {
+		t.Fatalf("loadModule: %v", err)
+	}
+	if len(mod.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(mod.Pkgs))
+	}
+	pkg := mod.Pkgs[0]
+	if pkg.Path != "tmpmod/sub" {
+		t.Errorf("package path = %q, want tmpmod/sub", pkg.Path)
+	}
+	if len(pkg.Files) != 0 || len(pkg.TestFiles) != 1 {
+		t.Errorf("got %d Files / %d TestFiles, want 0 / 1", len(pkg.Files), len(pkg.TestFiles))
+	}
+}
+
+// TestReadModulePathErrors covers the two loader failure modes for go.mod:
+// a missing file and a file with no module directive.
+func TestReadModulePathErrors(t *testing.T) {
+	if _, err := readModulePath(filepath.Join(t.TempDir(), "go.mod")); err == nil {
+		t.Error("missing go.mod: want error, got nil")
+	}
+	bad := filepath.Join(t.TempDir(), "go.mod")
+	if err := os.WriteFile(bad, []byte("// no module line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readModulePath(bad); err == nil {
+		t.Error("go.mod without module directive: want error, got nil")
+	}
+}
+
+// TestPathIn pins the matching rules scoping analyzers to packages: exact
+// match, slash-boundary suffix match, and nothing looser.
+func TestPathIn(t *testing.T) {
+	cases := []struct {
+		pkg      string
+		suffixes []string
+		want     bool
+	}{
+		{"tdb/internal/sec", []string{"internal/sec"}, true},
+		{"fixmod/internal/sec", []string{"internal/sec"}, true},
+		{"internal/sec", []string{"internal/sec"}, true},
+		{"tdb/internal/security", []string{"internal/sec"}, false},
+		{"xinternal/sec", []string{"internal/sec"}, false},
+		{"tdb/internal/sec/keys", []string{"internal/sec"}, false},
+		{"tdb/internal/platform", []string{"internal/sec", "internal/platform"}, true},
+		{"tdb/internal/platform", nil, false},
+	}
+	for _, c := range cases {
+		if got := pathIn(c.pkg, c.suffixes...); got != c.want {
+			t.Errorf("pathIn(%q, %v) = %v, want %v", c.pkg, c.suffixes, got, c.want)
+		}
+	}
+}

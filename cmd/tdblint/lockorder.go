@@ -1,0 +1,396 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lock-order proves the module's mutexes are acquired in one consistent
+// global order (DESIGN.md §9). Every Lock/RLock issued while another lock
+// region is active — directly or through any call chain reachable from the
+// region — contributes an ordering edge "held → acquired" between lock
+// *classes* (a mutex field of a named type, a promoted embedded mutex, or a
+// package-level mutex var). The edges form the module-wide lock-order
+// graph; any strongly connected component with an internal edge is a
+// potential deadlock and every edge inside it is reported with one cycle
+// path as evidence.
+//
+// Read locks are ordered like write locks: an RLock cycle still deadlocks
+// against a writer. Goroutine bodies spawned inside a region do not inherit
+// the held lock (matching locked-io). Locks that cannot be resolved to a
+// class — a *sync.Mutex parameter, a mutex in a slice element — contribute
+// no edges; the lock table's per-entry mutexes are the intended example.
+//
+// Unlike locked-io, the transitive walk does NOT stop at *Locked /
+// //tdblint:serial declarations: a serialization point is reviewed for I/O
+// under its caller's lock, not for the locks it takes itself.
+
+// lockClass identifies one mutex module-wide: key is the canonical
+// identity, label the short form used in diagnostics.
+type lockClass struct {
+	key   string // "tdb/internal/chunkstore.Store.mu" or "tdb/internal/x.muVar"
+	label string // "chunkstore.Store.mu"
+}
+
+// lockAcq records one (transitive) acquisition: the call chain from the
+// walked function to the Lock, empty when the function locks directly.
+type lockAcq struct {
+	chain string
+}
+
+// lockEdge is one ordering edge with the evidence site that created it.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	chain    string // call chain from the edge site to the acquisition, "" if direct
+}
+
+// lockClassOf resolves the receiver expression of a mutex method call to a
+// lock class.
+func (l *linter) lockClassOf(pkg *Package, expr ast.Expr) (lockClass, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// Field selection: s.mu, s.wb.mu — classify by the innermost
+		// named type declaring the field.
+		if selection, ok := pkg.Info.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			named := derefNamed(selection.Recv())
+			if named == nil || named.Obj().Pkg() == nil {
+				return lockClass{}, false
+			}
+			tn := named.Obj()
+			return lockClass{
+				key:   tn.Pkg().Path() + "." + tn.Name() + "." + selection.Obj().Name(),
+				label: tn.Pkg().Name() + "." + tn.Name() + "." + selection.Obj().Name(),
+			}, true
+		}
+		// Qualified package-level var: otherpkg.mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return lockClass{key: v.Pkg().Path() + "." + v.Name(), label: v.Pkg().Name() + "." + v.Name()}, true
+				}
+			}
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return lockClass{}, false
+		}
+		// Package-level mutex var.
+		if v.Parent() == pkg.Types.Scope() {
+			return lockClass{key: v.Pkg().Path() + "." + v.Name(), label: v.Pkg().Name() + "." + v.Name()}, true
+		}
+		// Receiver/local of a named type with a promoted embedded mutex:
+		// s.Lock() classifies as Type.Mutex. A bare sync.Mutex local or
+		// parameter stays unresolved.
+		if named := derefNamed(v.Type()); named != nil {
+			tn := named.Obj()
+			if tn.Pkg() != nil && tn.Pkg().Path() != "sync" {
+				return lockClass{
+					key:   tn.Pkg().Path() + "." + tn.Name() + ".Mutex",
+					label: tn.Pkg().Name() + "." + tn.Name() + ".Mutex",
+				}, true
+			}
+		}
+	}
+	return lockClass{}, false
+}
+
+// lockAcquires returns every lock class fn (transitively) acquires,
+// memoized. Cycles in the call graph resolve to "nothing more" for the
+// back edge.
+func (l *linter) lockAcquires(fn *types.Func) map[string]lockAcq {
+	if m, done := l.acq[fn]; done {
+		return m
+	}
+	l.acq[fn] = nil // cycle guard
+	decl, inModule := l.mod.funcDecls[fn]
+	if !inModule {
+		return nil
+	}
+	pkg := l.mod.declPkg[decl]
+	out := make(map[string]lockAcq)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if g, isGo := n.(*ast.GoStmt); isGo {
+			if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if _, name, isMutexOp := l.mutexMethod(pkg, call); isMutexOp {
+			if name == "Lock" || name == "RLock" {
+				if cls, ok := l.lockClassOf(pkg, call.Fun.(*ast.SelectorExpr).X); ok {
+					if _, dup := out[cls.key]; !dup {
+						out[cls.key] = lockAcq{}
+						l.lockLabels[cls.key] = cls.label
+					}
+				}
+			}
+			return true
+		}
+		callee := calleeFunc(pkg, call)
+		if callee == nil || callee == fn {
+			return true
+		}
+		for key, sub := range l.lockAcquires(callee) {
+			if _, dup := out[key]; dup {
+				continue
+			}
+			chain := callee.Name()
+			if sub.chain != "" {
+				chain += " → " + sub.chain
+			}
+			out[key] = lockAcq{chain: chain}
+		}
+		return true
+	})
+	l.acq[fn] = out
+	return out
+}
+
+// lockOrder builds the module-wide ordering graph and reports every edge
+// that participates in a cycle.
+func (l *linter) lockOrder() {
+	l.acq = make(map[*types.Func]map[string]lockAcq)
+	l.lockLabels = make(map[string]string)
+	edges := make(map[string]map[string]*lockEdge)
+	addEdge := func(from, to string, pos token.Pos, chain string) {
+		if from == to {
+			return
+		}
+		byTo := edges[from]
+		if byTo == nil {
+			byTo = make(map[string]*lockEdge)
+			edges[from] = byTo
+		}
+		if _, dup := byTo[to]; !dup {
+			byTo[to] = &lockEdge{from: from, to: to, pos: pos, chain: chain}
+		}
+	}
+
+	for _, pkg := range l.mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				if !isFunc || fd.Body == nil {
+					continue
+				}
+				regions := l.lockRegions(pkg, fd.Body)
+				if len(regions) == 0 {
+					continue
+				}
+				// Resolve each region's rendered receiver to a class via
+				// the first mutex-op expression that renders to it.
+				recvClass := make(map[string]lockClass)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, isCall := n.(*ast.CallExpr)
+					if !isCall {
+						return true
+					}
+					if recv, _, ok := l.mutexMethod(pkg, call); ok {
+						if _, done := recvClass[recv]; !done {
+							if cls, ok := l.lockClassOf(pkg, call.Fun.(*ast.SelectorExpr).X); ok {
+								recvClass[recv] = cls
+								l.lockLabels[cls.key] = cls.label
+							}
+						}
+					}
+					return true
+				})
+				heldAt := func(pos token.Pos) []string {
+					var held []string
+					for _, r := range regions {
+						if pos > r.start && pos < r.end {
+							if cls, ok := recvClass[r.recv]; ok {
+								held = append(held, cls.key)
+							}
+						}
+					}
+					return held
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if g, isGo := n.(*ast.GoStmt); isGo {
+						if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+							return false
+						}
+					}
+					call, isCall := n.(*ast.CallExpr)
+					if !isCall {
+						return true
+					}
+					if _, name, isMutexOp := l.mutexMethod(pkg, call); isMutexOp {
+						if name == "Lock" || name == "RLock" {
+							if cls, ok := l.lockClassOf(pkg, call.Fun.(*ast.SelectorExpr).X); ok {
+								for _, from := range heldAt(call.Pos()) {
+									addEdge(from, cls.key, call.Pos(), "")
+								}
+							}
+						}
+						return true
+					}
+					callee := calleeFunc(pkg, call)
+					if callee == nil {
+						return true
+					}
+					held := heldAt(call.Pos())
+					if len(held) == 0 {
+						return true
+					}
+					for key, sub := range l.lockAcquires(callee) {
+						chain := callee.Name()
+						if sub.chain != "" {
+							chain += " → " + sub.chain
+						}
+						for _, from := range held {
+							addEdge(from, key, call.Pos(), chain)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	l.reportLockCycles(edges)
+}
+
+// reportLockCycles runs Tarjan SCC over the ordering graph and reports
+// every edge inside a nontrivial component, with one cycle path as
+// evidence.
+func (l *linter) reportLockCycles(edges map[string]map[string]*lockEdge) {
+	var nodes []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, byTo := range edges {
+		add(from)
+		for to := range byTo {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+	succ := func(n string) []string {
+		var out []string
+		for to := range edges[n] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Tarjan's algorithm, iterative state kept in maps.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ(v) {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strongconnect(n)
+		}
+	}
+
+	label := func(key string) string {
+		if lb := l.lockLabels[key]; lb != "" {
+			return lb
+		}
+		return key
+	}
+	for _, from := range nodes {
+		var tos []string
+		for to := range edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if comp[from] != comp[to] {
+				continue
+			}
+			e := edges[from][to]
+			via := ""
+			if e.chain != "" {
+				via = " (via " + e.chain + ")"
+			}
+			l.report(e.pos, "lock-order",
+				"%s acquired while %s is held%s creates a cycle in the module lock graph (%s); take module mutexes in one global order",
+				label(to), label(from), via, l.renderCycle(edges, from, to, label))
+		}
+	}
+}
+
+// renderCycle returns "A → B → ... → A" for the edge from→to by finding a
+// path to→...→from (BFS, deterministic neighbor order).
+func (l *linter) renderCycle(edges map[string]map[string]*lockEdge, from, to string, label func(string) string) string {
+	prev := map[string]string{to: to}
+	queue := []string{to}
+	for len(queue) > 0 && prev[from] == "" {
+		v := queue[0]
+		queue = queue[1:]
+		var ws []string
+		for w := range edges[v] {
+			ws = append(ws, w)
+		}
+		sort.Strings(ws)
+		for _, w := range ws {
+			if _, done := prev[w]; !done {
+				prev[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	path := []string{label(from), label(to)}
+	if prev[from] != "" && from != to {
+		// rev walks from back toward to: [from, x_k, ..., x_1]; reversed it
+		// is the forward continuation of the cycle after `to`.
+		var rev []string
+		for v := from; v != to; v = prev[v] {
+			rev = append(rev, v)
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			path = append(path, label(rev[i]))
+		}
+	}
+	return strings.Join(path, " → ")
+}

@@ -1,22 +1,27 @@
 // Command tdblint statically enforces TDB's trust invariants across the
 // module: lock-region I/O discipline, the error taxonomy, secret hygiene,
-// clock injection, and unlock-path hygiene. It is built on go/parser,
-// go/ast, and go/types only — no external analysis framework — so the
-// pre-merge gate needs nothing beyond the Go toolchain.
+// clock injection, unlock-path hygiene, plaintext dataflow, and lock-order
+// acyclicity. It is built on go/parser, go/ast, and go/types only — no
+// external analysis framework — so the pre-merge gate needs nothing beyond
+// the Go toolchain.
 //
 // Usage:
 //
-//	tdblint [-only list] [-skip list] [-v] [dir|./...]
+//	tdblint [-only list] [-skip list] [-json] [-v] [dir|./...]
 //
 // The argument names the module root (default "."); the conventional
 // "./..." spelling is accepted and means the same thing, since tdblint
-// always analyzes the whole module. Exit status is 1 if any finding
-// survives suppression, 2 on load failure.
+// always analyzes the whole module. -json emits findings as JSON lines
+// (one object per finding: file, line, analyzer, message) for CI and
+// editor integration. Exit status is 1 if any finding survives
+// suppression, 2 on load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
@@ -24,9 +29,10 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzers to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines")
 	verbose := flag.Bool("v", false, "print per-package progress")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tdblint [-only list] [-skip list] [-v] [dir|./...]\n\nanalyzers: %s\n",
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tdblint [-only list] [-skip list] [-json] [-v] [dir|./...]\n\nanalyzers: %s\n",
 			strings.Join(analyzerNames, ", "))
 		flag.PrintDefaults()
 	}
@@ -60,12 +66,30 @@ func main() {
 
 	l := &linter{mod: mod, enabled: enabled}
 	findings := l.run()
-	for _, f := range findings {
-		fmt.Println(f)
-	}
+	printFindings(os.Stdout, findings, *jsonOut)
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "tdblint: %d finding(s)\n", len(findings))
 		os.Exit(1)
+	}
+}
+
+// printFindings renders findings either as the classic
+// "file:line: [analyzer] message" lines or, with -json, as JSON lines.
+func printFindings(w io.Writer, findings []Finding, asJSON bool) {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		return
+	}
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		enc.Encode(struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}{f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message})
 	}
 }
 

@@ -1,0 +1,64 @@
+// flow.go — plaintext-flow fixture: taint from Decrypt results and
+// caller-supplied plaintext must not reach the platform write path without
+// passing through the suite. Every device write goes through writeRaw's
+// RetryPolicy funnel so the file stays clean for raw-io-funnel; the taint
+// engine tracks the captured buffer through the closure regardless.
+package chunkstore
+
+import (
+	"fixmod/internal/platform"
+	"fixmod/internal/sec"
+)
+
+type flowStore struct {
+	file  platform.File
+	retry RetryPolicy
+	suite sec.Suite
+	stash []byte
+}
+
+// writeRaw funnels one device write through the retry policy. Its summary
+// carries parameter 1 to the WriteAt sink; it reports nothing itself.
+func (s *flowStore) writeRaw(p []byte, off int64) error {
+	return s.retry.run(func() error {
+		_, err := s.file.WriteAt(p, off)
+		return err
+	})
+}
+
+// leakDecrypted writes a Decrypt result to the device: positive.
+func (s *flowStore) leakDecrypted(ciphertext []byte) error {
+	plain, _ := s.suite.Decrypt(ciphertext)
+	return s.writeRaw(plain, 0)
+}
+
+// leakParam copies caller-supplied plaintext and writes it: positive.
+func (s *flowStore) leakParam(plain []byte) error {
+	buf := append([]byte(nil), plain...)
+	return s.writeRaw(buf, 8)
+}
+
+// stashDecrypted parks a decrypted suffix in a struct field...
+func (s *flowStore) stashDecrypted(ciphertext []byte) {
+	plain, _ := s.suite.Decrypt(ciphertext)
+	s.stash = plain[4:]
+}
+
+// ...and flushStash later writes the field: positive at the flush site via
+// the module-wide field taint.
+func (s *flowStore) flushStash() error {
+	return s.writeRaw(s.stash, 16)
+}
+
+// encryptThenWrite sanitizes through the suite before the device write:
+// negative.
+func (s *flowStore) encryptThenWrite(plain []byte) error {
+	return s.writeRaw(s.suite.Encrypt(plain, 1), 0)
+}
+
+// writeFrame persists only scalar-derived framing (a length is not the
+// plaintext): negative.
+func (s *flowStore) writeFrame(plain []byte) error {
+	hdr := []byte{byte(len(plain)), 0, 0, 0}
+	return s.writeRaw(hdr, 24)
+}

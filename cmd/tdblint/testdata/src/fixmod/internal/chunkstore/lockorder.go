@@ -1,0 +1,50 @@
+// lockorder.go — lock-order fixture: wall.mu → door.mu is established
+// directly, then inverted through a call chain; both edges of the cycle are
+// reported. A goroutine spawned inside a region does not inherit the held
+// lock, so the async variant stays clean.
+package chunkstore
+
+import "sync"
+
+type wall struct {
+	mu sync.Mutex
+	d  *door
+}
+
+type door struct {
+	mu sync.Mutex
+	w  *wall
+}
+
+// lockWallThenDoor establishes the edge wall.mu → door.mu.
+func (w *wall) lockWallThenDoor() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+}
+
+// grabWall acquires wall.mu for the transitive inversion below.
+func (d *door) grabWall() {
+	d.w.mu.Lock()
+	defer d.w.mu.Unlock()
+}
+
+// lockDoorThenWall inverts the order through grabWall: positive (both
+// cycle edges are reported, this one with its call chain).
+func (d *door) lockDoorThenWall() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.grabWall()
+}
+
+// spawnAsync hands the second acquisition to a goroutine, which does not
+// run under the spawning region: negative.
+func (d *door) spawnAsync() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		d.w.mu.Lock()
+		defer d.w.mu.Unlock()
+	}()
+}

@@ -1,0 +1,28 @@
+// keys.go — key-material fixture for plaintext-flow: deriveKey results are
+// taint sources. sec is outside raw-io-funnel scope, so the device writes
+// here stay plain calls.
+package sec
+
+import "fixmod/internal/platform"
+
+type keyFile struct {
+	f platform.File
+}
+
+func deriveKey(secret []byte) []byte { return secret }
+
+// persistKey writes derived key material straight to the untrusted store:
+// positive.
+func (k *keyFile) persistKey(secret []byte) error {
+	key := deriveKey(secret)
+	_, err := k.f.WriteAt(key, 0)
+	return err
+}
+
+// persistSealed encrypts the derived key before it leaves the trust
+// boundary: negative.
+func (k *keyFile) persistSealed(secret []byte) error {
+	sealed := Suite{}.Encrypt(deriveKey(secret), 7)
+	_, err := k.f.WriteAt(sealed, 0)
+	return err
+}

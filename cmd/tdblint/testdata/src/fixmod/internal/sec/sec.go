@@ -7,6 +7,8 @@ type Suite struct{}
 
 func (Suite) Hash(p []byte) []byte               { return p }
 func (Suite) Encrypt(p []byte, iv uint64) []byte { return p }
+func (Suite) Decrypt(p []byte) ([]byte, error)   { return p, nil }
+func (Suite) MAC(p []byte) []byte                { return p }
 func (Suite) Name() string                       { return "fix" }
 
 // HashEqual is on the locked-io whitelist: a constant-time compare is safe

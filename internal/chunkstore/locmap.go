@@ -140,6 +140,8 @@ func (m *locMap) nodeHash(n *mapNode) []byte {
 }
 
 // rootHash returns the Merkle root over the entire database.
+//
+//tdblint:public the Merkle root is the published tamper-evidence commitment — a one-way digest, MACed wherever it is persisted, never secret
 func (m *locMap) rootHash() []byte { return m.nodeHash(m.root) }
 
 // loadChild loads the child node at slot i of parent from the log,

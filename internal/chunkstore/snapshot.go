@@ -57,6 +57,8 @@ func (s *Store) TakeSnapshot() (*Snapshot, error) {
 func (sn *Snapshot) Seq() uint64 { return sn.seq }
 
 // RootHash returns the Merkle root of the snapshot state.
+//
+//tdblint:public the Merkle root is the published tamper-evidence commitment — a one-way digest, MACed wherever it is persisted, never secret
 func (sn *Snapshot) RootHash() []byte { return append([]byte(nil), sn.rootHash...) }
 
 // Counter returns the one-way counter value at snapshot time.
