@@ -15,7 +15,7 @@ WRITEBEHIND ?= on off
 CHAOS_SEED ?= 42
 CHAOS_ACTIONS ?= 500
 
-.PHONY: build test check faults lint bench bench-smoke chaos
+.PHONY: build test check faults lint bench bench-smoke bench-read-scaling chaos
 
 build:
 	$(GO) build ./...
@@ -76,9 +76,21 @@ bench:
 
 # bench-smoke runs every benchmark exactly once per write-behind mode —
 # not for numbers, only to keep the benchmarks compiling and passing their
-# own assertions in both states.
-bench-smoke:
+# own assertions in both states — plus the read-scaling smoke below.
+bench-smoke: bench-read-scaling
 	@for wb in $(WRITEBEHIND); do \
 		echo "== bench-smoke (TDB_WRITEBEHIND=$$wb) =="; \
 		TDB_WRITEBEHIND=$$wb $(GO) test ./... -run XXX -bench . -benchtime 1x || exit 1; \
+	done
+
+# bench-read-scaling exercises the off-mutex read path (DESIGN.md §7.7) at
+# 1 and 8 concurrent readers in both write-behind modes. Like bench-smoke
+# it is not for numbers: it keeps the snapshot/revalidate protocol, the
+# sharded cache, and the singleflight running under both the serial and
+# the contended scheduler shape on every gate.
+bench-read-scaling:
+	@for wb in $(WRITEBEHIND); do \
+		echo "== bench-read-scaling (TDB_WRITEBEHIND=$$wb) =="; \
+		TDB_WRITEBEHIND=$$wb $(GO) test ./internal/chunkstore/ -run XXX \
+			-bench BenchmarkConcurrentRead -benchtime 1x -cpu 1,8 || exit 1; \
 	done

@@ -67,6 +67,14 @@ type readRunResult struct {
 	WriterCommitsPerSec float64 `json:"writer_commits_per_sec"`
 	ReadP50Micros       float64 `json:"read_p50_us"`
 	ReadP99Micros       float64 `json:"read_p99_us"`
+	// CacheHitRate is the chunk-level read-cache hit fraction over the run,
+	// so a throughput change is attributable: a regression with an unchanged
+	// hit rate is a locking problem, one with a collapsed hit rate is a
+	// caching problem.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ReadSlowPaths counts chunk reads that fell back to the exclusive-lock
+	// path during the run (expected ~0 once the map is resident).
+	ReadSlowPaths int64 `json:"read_slow_paths"`
 }
 
 // benchBlob is the experiment's persistent class: a raw payload.
@@ -316,6 +324,7 @@ func runReadWorkload(d *tpcb.TDBDriver, workload string, readers, readsPer int) 
 		}
 	}()
 
+	cacheBefore := d.DB().Stats()
 	lats := make([][]time.Duration, readers)
 	errs := make([]error, readers)
 	var wg sync.WaitGroup
@@ -340,6 +349,7 @@ func runReadWorkload(d *tpcb.TDBDriver, workload string, readers, readsPer int) 
 	elapsed := time.Since(start)
 	close(stop)
 	wgWriter.Wait()
+	cacheAfter := d.DB().Stats()
 	if writerErr != nil {
 		return readRunResult{}, writerErr
 	}
@@ -360,6 +370,12 @@ func runReadWorkload(d *tpcb.TDBDriver, workload string, readers, readsPer int) 
 		}
 		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Microsecond)
 	}
+	hitRate := 0.0
+	hits := cacheAfter.ReadCacheHits - cacheBefore.ReadCacheHits
+	misses := cacheAfter.ReadCacheMisses - cacheBefore.ReadCacheMisses
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
 	return readRunResult{
 		Workload:            workload,
 		Readers:             readers,
@@ -368,12 +384,20 @@ func runReadWorkload(d *tpcb.TDBDriver, workload string, readers, readsPer int) 
 		WriterCommitsPerSec: float64(writerCommits) / elapsed.Seconds(),
 		ReadP50Micros:       pct(0.50),
 		ReadP99Micros:       pct(0.99),
+		CacheHitRate:        hitRate,
+		ReadSlowPaths:       cacheAfter.ReadSlowPaths - cacheBefore.ReadSlowPaths,
 	}, nil
 }
 
 // runSnapshotReads sweeps reader counts for both read workloads and appends
-// the rows to the report.
+// the rows to the report. Each reader performs at least readFloor reads:
+// short runs (the default -txns split across readers) produced rows noisy
+// enough that the 4-reader point measured below the 2-reader one.
 func runSnapshotReads(report *objstoreReport, readsPer int) error {
+	const readFloor = 10000
+	if readsPer < readFloor {
+		readsPer = readFloor
+	}
 	fmt.Println("== Snapshot reads: scaling with reader count under a concurrent writer ==")
 	for _, workload := range []string{readHeavyWorkload, zipfianWorkload} {
 		store := platform.NewMemStore()
@@ -392,8 +416,9 @@ func runSnapshotReads(report *objstoreReport, readsPer int) error {
 				return fmt.Errorf("snapshot reads %s x%d: %w", workload, readers, err)
 			}
 			report.ReadRuns = append(report.ReadRuns, res)
-			fmt.Printf("  %-12s %2d readers %9.0f reads/s   p50 %7.1fµs   p99 %8.1fµs   writer %7.0f commits/s\n",
-				res.Workload, res.Readers, res.ReadsPerSec, res.ReadP50Micros, res.ReadP99Micros, res.WriterCommitsPerSec)
+			fmt.Printf("  %-12s %2d readers %9.0f reads/s   p50 %7.1fµs   p99 %8.1fµs   writer %7.0f commits/s   cache %4.1f%%   slow %d\n",
+				res.Workload, res.Readers, res.ReadsPerSec, res.ReadP50Micros, res.ReadP99Micros, res.WriterCommitsPerSec,
+				res.CacheHitRate*100, res.ReadSlowPaths)
 		}
 		if err := d.Close(); err != nil {
 			return err

@@ -1,0 +1,93 @@
+// readpath.go — off-mutex read-path fixture (DESIGN.md §7.7): a cache miss
+// snapshots the location under a short RLock section, runs I/O and decrypt
+// with no lock held, and revalidates before publishing. locked-io must stay
+// silent on the pure snapshot/revalidate sections yet still track RLock
+// regions, and the read-cache shard mutex must show up as its own lock
+// class in the module lock-order graph.
+package chunkstore
+
+import (
+	"sync"
+
+	"fixmod/internal/platform"
+	"fixmod/internal/sec"
+)
+
+type rstore struct {
+	mu     sync.RWMutex
+	epoch  uint64
+	length int
+	file   platform.File
+	suite  sec.Suite
+	retry  RetryPolicy
+	shards []*rshard
+}
+
+// rshard is the fixture read-cache shard: its mutex is a distinct lock
+// class (chunkstore.rshard.mu), ordered after chunkstore.rstore.mu.
+type rshard struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+}
+
+// readMiss is the off-mutex read pattern: negative. The RLock sections are
+// pure (field snapshot, epoch compare), and the platform read and bulk
+// decrypt run with no lock held, funneled through the retry policy.
+func (s *rstore) readMiss(id uint64) ([]byte, error) {
+	s.mu.RLock()
+	n := s.length
+	stamp := s.epoch
+	s.mu.RUnlock()
+
+	buf := make([]byte, n)
+	if err := s.retry.run(func() error {
+		_, err := s.file.ReadAt(buf, int64(id))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	plain, err := s.suite.Decrypt(buf)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.RLock()
+	current := s.epoch == stamp
+	s.mu.RUnlock()
+	if !current {
+		return nil, nil
+	}
+	return plain, nil
+}
+
+// decryptUnderReadLock holds the read lock across bulk crypto: positive
+// (RLock regions are tracked exactly like Lock regions).
+func (s *rstore) decryptUnderReadLock(buf []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.suite.Decrypt(buf)
+}
+
+// publish establishes the sanctioned order rstore.mu → rshard.mu.
+func (s *rstore) publish(id uint64, b []byte) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := s.shards[0]
+	sh.mu.Lock()
+	sh.m[id] = b
+	sh.mu.Unlock()
+}
+
+// reserve acquires the store lock for the transitive inversion below.
+func (s *rstore) reserve() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+}
+
+// refill inverts the order through reserve: positive (both cycle edges are
+// reported, this one with its call chain).
+func (sh *rshard) refill(s *rstore) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.reserve()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"tdb"
 	"tdb/internal/chunkstore"
@@ -410,6 +411,104 @@ func (h *harness) actSnapshotIsolation() error {
 	return nil
 }
 
+// actReadStorm races concurrent snapshot readers against cleaner and
+// checkpoint passes on the main thread, exercising the off-mutex read path's
+// stamp revalidation (a reader that planned against a record the cleaner
+// relocates mid-read must retry, never return wrong data or a spurious
+// error). Determinism: every random choice — reader count, probe sequences —
+// is drawn on the main thread before the readers start, and read-fault
+// injection is switched off for the storm's duration because FaultStore
+// reads consume injector RNG draws only when the read probability is
+// nonzero; with it zeroed, the concurrently scheduled reads leave the fault
+// stream untouched and the single-threaded write draws stay reproducible.
+func (h *harness) actReadStorm() error {
+	cols := h.existingCols()
+	var col string
+	var ids []int64
+	for _, c := range cols {
+		if s := sortedIDs(h.sh.Cur()[c]); len(s) > 0 {
+			col, ids = c, s
+			break
+		}
+	}
+	if col == "" {
+		h.tracef("read-storm skipped (no objects)")
+		return nil
+	}
+	want := make(map[int64]ObjState, len(ids))
+	for id, st := range h.sh.Cur()[col] {
+		want[id] = st
+	}
+	readers := 2 + h.rng.Intn(3)
+	perReader := 8 + h.rng.Intn(9)
+	probes := make([][]int64, readers)
+	for r := range probes {
+		seq := make([]int64, perReader)
+		for i := range seq {
+			seq[i] = ids[h.rng.Intn(len(ids))]
+		}
+		probes[r] = seq
+	}
+	h.fs.SetTransientProb(0, 0.01, 1)
+	defer h.fs.SetTransientProb(0.01, 0.01, 1)
+
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for _, id := range probes[r] {
+				ro := h.db.BeginReadOnly()
+				hdl, err := ro.ReadCollection(col)
+				if err != nil {
+					ro.Abort()
+					errs[r] = fmt.Errorf("read-storm open %s: %w", col, err)
+					return
+				}
+				n, st, err := probeExact(hdl, id)
+				ro.Abort()
+				if err != nil {
+					errs[r] = fmt.Errorf("read-storm %s/%d: %w", col, id, err)
+					return
+				}
+				if n != 1 || st != want[id] {
+					errs[r] = fmt.Errorf("invariant: read-storm %s/%d: got n=%d %+v, want n=1 %+v", col, id, n, st, want[id])
+					return
+				}
+			}
+		}(r)
+	}
+	// Relocation pressure while the readers run: the cleaner moves live
+	// records between segments and the checkpoint rewrites map nodes, so
+	// in-flight reads keep landing on the revalidate-and-retry path. The
+	// main thread mutates no object state, so the captured want-states stay
+	// authoritative for the storm's whole duration.
+	var mainErr error
+	for i := 0; i < 3; i++ {
+		if mainErr = h.db.Clean(); mainErr != nil {
+			mainErr = fmt.Errorf("read-storm clean: %w", mainErr)
+			break
+		}
+		if mainErr = h.db.Checkpoint(); mainErr != nil {
+			mainErr = fmt.Errorf("read-storm checkpoint: %w", mainErr)
+			break
+		}
+	}
+	wg.Wait()
+	if mainErr != nil {
+		return h.opErr("read-storm", mainErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	h.res.ReadStorms++
+	h.tracef("read-storm %s readers=%d probes=%d", col, readers, perReader)
+	return nil
+}
+
 // actBackup writes a full or incremental backup and snapshots the shadow
 // state the archive chain now reproduces.
 func (h *harness) actBackup() error {
@@ -624,22 +723,32 @@ func (h *harness) actRotStorm() error {
 	var victims []tdb.ChunkID
 	for _, cid := range sortedChunkIDs(victimSet) {
 		ct := cts[cid]
-		found := false
+		// A relocation (cleaner compaction, damage evacuation) leaves stale
+		// verbatim copies of the record in dead log space, and a byte search
+		// cannot tell which copy the location map references — so every copy
+		// gets the same flipped bit. The live one is guaranteed to be among
+		// them; the stale ones sit in space nothing dereferences.
+		rel := h.rng.Intn(len(ct))
+		bit := uint(h.rng.Intn(8))
+		found := 0
 		for _, name := range names {
-			if i := bytes.Index(files[name], ct); i >= 0 {
-				off := int64(i + h.rng.Intn(len(ct)))
-				bit := uint(h.rng.Intn(8))
-				if err := h.fs.FlipBit(name, off, bit); err != nil {
+			data := files[name]
+			for i := 0; ; {
+				j := bytes.Index(data[i:], ct)
+				if j < 0 {
+					break
+				}
+				if err := h.fs.FlipBit(name, int64(i+j+rel), bit); err != nil {
 					return fmt.Errorf("storm flip chunk %d: %w", cid, err)
 				}
-				victims = append(victims, cid)
-				found = true
-				break
+				found++
+				i += j + len(ct)
 			}
 		}
-		if !found {
+		if found == 0 {
 			return fmt.Errorf("storm: ciphertext of live chunk %d not found in store files", cid)
 		}
+		victims = append(victims, cid)
 	}
 	h.res.Storms++
 

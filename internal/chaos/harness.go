@@ -42,6 +42,7 @@ type Result struct {
 	Recoveries   int
 	Restarts     int
 	Storms       int
+	ReadStorms   int
 	Backups      int
 	Restores     int
 	TamperChecks int
@@ -285,6 +286,8 @@ func (h *harness) step() error {
 		return h.actRestart()
 	case pick < 81:
 		return h.actDropCollection()
+	case pick < 85:
+		return h.actReadStorm()
 	default:
 		return h.actArmCrash()
 	}

@@ -122,8 +122,15 @@ type Stats struct {
 	// CacheBytes is the memory accounted to cached map nodes.
 	CacheBytes int64
 	// ReadCacheBytes is the memory resident in the validated-plaintext read
-	// cache; ReadCacheHits and ReadCacheMisses count its lookups.
+	// cache; ReadCacheHits and ReadCacheMisses count its lookups, and
+	// ReadCacheShards is the number of independently locked cache shards
+	// (0 when the cache is disabled).
 	ReadCacheBytes  int64
 	ReadCacheHits   int64
 	ReadCacheMisses int64
+	ReadCacheShards int
+	// ReadSlowPaths counts cache-miss reads that fell back to the
+	// exclusive-lock read path instead of completing off-mutex (map node
+	// not resident, or repeated relocation races mid-read).
+	ReadSlowPaths int64
 }

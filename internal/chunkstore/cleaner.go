@@ -104,6 +104,10 @@ func (s *Store) cleanLocked(copyBudget int64, aggressive bool) error {
 	if len(victims) == 0 {
 		return nil
 	}
+	// Evacuation relocated live records, so off-mutex reads planned against
+	// the pre-clean map must fail revalidation and retry (their pinned old
+	// segment stays readable until they unpin; see segment.readers).
+	s.locEpoch.Add(1)
 	// Durably publish the relocations, then free the victims. The
 	// checkpoint defers its superblock fsync, but the victims cannot be
 	// freed under a stale durable anchor — recovery would chase the old

@@ -306,8 +306,16 @@ func (s *Store) commitPreparedLocked(b *Batch, prep []preparedOp, durable, defer
 
 	// Publish the batch into the read cache (write-through for writes,
 	// invalidation for deallocs) before Commit returns, so any read that
-	// starts after the commit completes observes the new state.
+	// starts after the commit completes observes the new state. Off-mutex
+	// reads that snapshotted the pre-commit map are told their snapshot is
+	// stale: the epoch bump fails their revalidation, and marking in-flight
+	// coalesced reads stale keeps late joiners from adopting a result
+	// computed against the replaced version.
+	if len(b.ops) > 0 {
+		s.locEpoch.Add(1)
+	}
 	for i, op := range b.ops {
+		s.flights.invalidate(op.cid)
 		switch op.kind {
 		case opWrite, opRestore:
 			s.rcache.put(op.cid, prep[i].hash, op.data)

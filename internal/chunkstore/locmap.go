@@ -257,6 +257,36 @@ func (m *locMap) descend(cid ChunkID, forWrite bool) (pathResult, error) {
 	return pathResult{leaf: n, slot: m.childIndex(cid, 0)}, nil
 }
 
+// getCached returns the leaf entry for cid walking only nodes already
+// resident in memory: no I/O, no LRU touches, no mutation of any kind. It
+// reports resident=false when the path to the leaf is not fully cached (the
+// caller must fall back to get under the exclusive lock, which pages nodes
+// in). A nil child with an empty parent entry — or a cid beyond the tree's
+// capacity — is a definitive absence, not a cache miss.
+//
+// Safe under the store mutex in shared (read-locked) mode: every tree
+// mutation — node creation, paging, eviction, entry updates, hash
+// memoization — runs under the exclusive lock, and entries are replaced
+// wholesale (their hash slices are never mutated in place).
+func (m *locMap) getCached(cid ChunkID) (e entry, resident bool) {
+	if uint64(cid) >= m.capacity() {
+		return entry{}, true
+	}
+	n := m.root
+	for n.level > 0 {
+		i := m.childIndex(cid, n.level)
+		kid := n.kids[i]
+		if kid == nil {
+			if n.entries[i].isEmpty() {
+				return entry{}, true
+			}
+			return entry{}, false
+		}
+		n = kid
+	}
+	return n.entries[m.childIndex(cid, 0)], true
+}
+
 // get returns the leaf entry for cid (a zero entry if absent).
 func (m *locMap) get(cid ChunkID) (entry, error) {
 	p, err := m.descend(cid, false)

@@ -9,37 +9,50 @@ import (
 
 // readCache caches validated plaintext chunk contents so repeated reads of
 // hot chunks skip the store mutex, the log I/O, the hash validation, and
-// the decryption entirely. Entries are keyed by the chunk's validated
-// ciphertext hash (the same hash the Merkle tree authenticates), with a
-// chunk-id index on top; ids whose current records share a hash share one
-// entry.
+// the decryption entirely. The cache is split into independent shards keyed
+// by a mix of the chunk id, so concurrent hits on distinct chunks do not
+// serialize on one RWMutex; within a shard, entries are keyed by the
+// chunk's validated ciphertext hash (the same hash the Merkle tree
+// authenticates), with a chunk-id index on top, so ids whose current
+// records share a hash share one entry. (Lookups only know the chunk id,
+// which is why sharding follows the id rather than the content hash; the
+// cost is that identical contents stored under ids of different shards are
+// cached twice.)
 //
-// Concurrency model: the cache has its own RWMutex, independent of
-// Store.mu, so cache hits proceed concurrently with an in-flight commit.
-// Coherence is maintained by the commit path, which — while still holding
-// Store.mu, before Commit returns — updates the mapping for every chunk the
-// batch wrote and drops the mapping for every chunk it deallocated. A
-// reader that hits the cache while a commit is in flight observes the
-// pre-commit value, which is correct: that read linearizes before the
-// commit's completion. The lock order is always Store.mu → readCache.mu;
-// the cache never calls back into the store.
+// Concurrency model: each shard has its own RWMutex, independent of
+// Store.mu, so cache hits proceed concurrently with an in-flight commit and
+// with hits on other shards. Coherence is maintained by the commit path,
+// which — while still holding Store.mu, before Commit returns — updates the
+// mapping for every chunk the batch wrote and drops the mapping for every
+// chunk it deallocated. A reader that hits the cache while a commit is in
+// flight observes the pre-commit value, which is correct: that read
+// linearizes before the commit's completion. The lock order is always
+// Store.mu → rcShard.mu (taken for one shard at a time; no operation holds
+// two shard locks); the cache never calls back into the store.
 //
-// The cache uses a dedicated lru.Pool rather than the store's shared map
-// node pool: lru.Pool is not safe for concurrent use and the map node pool
-// is serialized by Store.mu, which cache hits deliberately do not take.
+// Each shard owns a dedicated lru.Pool with an equal slice of the byte
+// budget, rather than the store's shared map node pool: lru.Pool is not
+// safe for concurrent use and the map node pool is serialized by Store.mu,
+// which cache hits deliberately do not take.
 type readCache struct {
-	mu     sync.RWMutex
-	pool   *lru.Pool
-	byHash map[string]*rcEntry
-	byCID  map[ChunkID]*rcEntry
+	shards []*rcShard
+	mask   uint64
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-// rcEntry is one cached plaintext, shared by every chunk id whose current
-// content hash matches. The data slice is immutable after construction;
-// lookups copy out under the read lock.
+// rcShard is one independently locked slice of the cache.
+type rcShard struct {
+	mu     sync.RWMutex
+	pool   *lru.Pool
+	byHash map[string]*rcEntry
+	byCID  map[ChunkID]*rcEntry
+}
+
+// rcEntry is one cached plaintext, shared by every chunk id of the shard
+// whose current content hash matches. The data slice is immutable after
+// construction; lookups copy out under the read lock.
 type rcEntry struct {
 	hash string
 	data []byte
@@ -51,43 +64,72 @@ type rcEntry struct {
 // the pool on top of the plaintext bytes.
 const rcEntryOverhead = 128
 
+// rcMaxShards caps the shard count; rcShardBudget is the minimum byte
+// budget that justifies another shard, so tiny caches (tests, constrained
+// configurations) stay single-sharded instead of splintering into pools too
+// small to hold one entry.
+const (
+	rcMaxShards   = 16
+	rcShardBudget = 128 << 10
+)
+
+// rcShardCount returns the power-of-two shard count for a byte budget.
+func rcShardCount(budget int64) int {
+	n := 1
+	for int64(n*2)*rcShardBudget <= budget && n*2 <= rcMaxShards {
+		n *= 2
+	}
+	return n
+}
+
 // newReadCache returns a cache bounded by budget bytes, or nil (all methods
 // are nil-safe no-ops) when budget is negative.
 func newReadCache(budget int64) *readCache {
 	if budget < 0 {
 		return nil
 	}
-	return &readCache{
-		pool:   lru.NewPool(budget),
-		byHash: make(map[string]*rcEntry),
-		byCID:  make(map[ChunkID]*rcEntry),
+	n := rcShardCount(budget)
+	rc := &readCache{shards: make([]*rcShard, n), mask: uint64(n - 1)}
+	for i := range rc.shards {
+		rc.shards[i] = &rcShard{
+			pool:   lru.NewPool(budget / int64(n)),
+			byHash: make(map[string]*rcEntry),
+			byCID:  make(map[ChunkID]*rcEntry),
+		}
 	}
+	return rc
+}
+
+// shard returns the shard owning cid.
+func (rc *readCache) shard(cid ChunkID) *rcShard {
+	return rc.shards[mix64(uint64(cid))&rc.mask]
 }
 
 // get returns a copy of the cached plaintext for cid. Hits touch the LRU
-// entry only when the write lock is immediately available, trading strict
-// recency order for reader concurrency.
+// entry only when the shard's write lock is immediately available, trading
+// strict recency order for reader concurrency.
 func (rc *readCache) get(cid ChunkID) ([]byte, bool) {
 	if rc == nil {
 		return nil, false
 	}
-	rc.mu.RLock()
-	e, ok := rc.byCID[cid]
+	sh := rc.shard(cid)
+	sh.mu.RLock()
+	e, ok := sh.byCID[cid]
 	var out []byte
 	if ok {
 		out = append([]byte(nil), e.data...)
 	}
-	rc.mu.RUnlock()
+	sh.mu.RUnlock()
 	if !ok {
 		rc.misses.Add(1)
 		return nil, false
 	}
 	rc.hits.Add(1)
-	if rc.mu.TryLock() {
+	if sh.mu.TryLock() {
 		if e.ent != nil {
 			e.ent.Touch() // no-op if the entry was evicted meanwhile
 		}
-		rc.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return out, true
 }
@@ -99,23 +141,24 @@ func (rc *readCache) put(cid ChunkID, hash []byte, plain []byte) {
 		return
 	}
 	h := string(hash)
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if old := rc.byCID[cid]; old != nil {
+	sh := rc.shard(cid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old := sh.byCID[cid]; old != nil {
 		if old.hash == h {
 			old.ent.Touch()
 			return
 		}
-		rc.detachLocked(cid, old)
+		sh.detachLocked(cid, old)
 	}
-	e := rc.byHash[h]
+	e := sh.byHash[h]
 	if e == nil {
 		e = &rcEntry{hash: h, data: append([]byte(nil), plain...), cids: make(map[ChunkID]struct{}, 1)}
-		rc.byHash[h] = e
-		e.ent = rc.pool.Add(int64(len(e.data))+rcEntryOverhead, func() bool {
-			delete(rc.byHash, e.hash)
+		sh.byHash[h] = e
+		e.ent = sh.pool.Add(int64(len(e.data))+rcEntryOverhead, func() bool {
+			delete(sh.byHash, e.hash)
 			for c := range e.cids {
-				delete(rc.byCID, c)
+				delete(sh.byCID, c)
 			}
 			return true
 		})
@@ -123,7 +166,7 @@ func (rc *readCache) put(cid ChunkID, hash []byte, plain []byte) {
 		e.ent.Touch()
 	}
 	e.cids[cid] = struct{}{}
-	rc.byCID[cid] = e
+	sh.byCID[cid] = e
 }
 
 // invalidate drops the mapping for cid (deallocated or rewritten).
@@ -131,21 +174,22 @@ func (rc *readCache) invalidate(cid ChunkID) {
 	if rc == nil {
 		return
 	}
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	if e := rc.byCID[cid]; e != nil {
-		rc.detachLocked(cid, e)
+	sh := rc.shard(cid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.byCID[cid]; e != nil {
+		sh.detachLocked(cid, e)
 	}
 }
 
 // detachLocked unlinks cid from its entry, freeing the entry once no id
-// references it. Caller holds rc.mu.
-func (rc *readCache) detachLocked(cid ChunkID, e *rcEntry) {
+// references it. Caller holds sh.mu.
+func (sh *rcShard) detachLocked(cid ChunkID, e *rcEntry) {
 	delete(e.cids, cid)
-	delete(rc.byCID, cid)
+	delete(sh.byCID, cid)
 	if len(e.cids) == 0 {
 		e.ent.Remove()
-		delete(rc.byHash, e.hash)
+		delete(sh.byHash, e.hash)
 	}
 }
 
@@ -154,22 +198,26 @@ func (rc *readCache) purge() {
 	if rc == nil {
 		return
 	}
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	for h, e := range rc.byHash {
-		e.ent.Remove()
-		delete(rc.byHash, h)
+	for _, sh := range rc.shards {
+		sh.mu.Lock()
+		for h, e := range sh.byHash {
+			e.ent.Remove()
+			delete(sh.byHash, h)
+		}
+		sh.byCID = make(map[ChunkID]*rcEntry)
+		sh.mu.Unlock()
 	}
-	rc.byCID = make(map[ChunkID]*rcEntry)
 }
 
-// stats reports resident bytes and hit/miss counters.
-func (rc *readCache) stats() (bytes, hits, misses int64) {
+// stats reports resident bytes, hit/miss counters, and the shard count.
+func (rc *readCache) stats() (bytes, hits, misses int64, shards int) {
 	if rc == nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	rc.mu.RLock()
-	bytes = rc.pool.Used()
-	rc.mu.RUnlock()
-	return bytes, rc.hits.Load(), rc.misses.Load()
+	for _, sh := range rc.shards {
+		sh.mu.RLock()
+		bytes += sh.pool.Used()
+		sh.mu.RUnlock()
+	}
+	return bytes, rc.hits.Load(), rc.misses.Load(), len(rc.shards)
 }

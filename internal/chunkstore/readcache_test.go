@@ -105,14 +105,30 @@ func TestReadCacheDisabled(t *testing.T) {
 // the same validated hash share one cached plaintext. Entries are keyed by
 // the ciphertext hash, so identical plaintexts only coincide under the null
 // suite (encryption gives equal plaintexts distinct IVs and ciphertexts).
+// Deduplication is per cache shard, so the test picks two ids the shard
+// function maps to the same shard.
 func TestReadCacheDedupByContent(t *testing.T) {
 	env := newTestEnv(t, "null")
 	s := env.open(t)
 	defer s.Close()
 
+	var a, bID ChunkID
+	seen := make(map[*rcShard]ChunkID)
+	for {
+		cid, err := s.AllocateChunkID()
+		if err != nil {
+			t.Fatalf("AllocateChunkID: %v", err)
+		}
+		sh := s.rcache.shard(cid)
+		if prev, ok := seen[sh]; ok {
+			a, bID = prev, cid
+			break
+		}
+		seen[sh] = cid
+	}
 	payload := bytes.Repeat([]byte("d"), 1024)
-	a := allocWrite(t, s, payload)
-	bID := allocWrite(t, s, payload)
+	writeChunk(t, s, a, payload)
+	writeChunk(t, s, bID, payload)
 	if _, err := s.Read(a); err != nil {
 		t.Fatalf("Read(a): %v", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"tdb/internal/platform"
 )
@@ -55,6 +56,12 @@ type segment struct {
 	// handles to; free defers closing such handles via doomed.
 	syncing bool
 	doomed  bool
+	// readers counts off-mutex cache-miss reads currently holding the file
+	// handle (pinned under the shared store lock in planRead, released in
+	// finishRead). free defers closing a pinned segment's handle via doomed;
+	// the last unpinner closes it. Atomic because pins and unpins happen
+	// under the shared lock, concurrently with each other.
+	readers atomic.Int32
 }
 
 // segmentSet manages all segment files of one store. All raw segment I/O
@@ -301,10 +308,13 @@ func (ss *segmentSet) free(num uint64) error {
 		ss.wbOff = 0
 		ss.wbDirty = 0
 	}
-	if seg.syncing {
-		// An off-mutex group-commit sync holds this file handle; closing it
-		// now would fail that fsync. Unlink the file and leave the handle to
-		// finishSyncLocked.
+	if seg.syncing || seg.readers.Load() > 0 {
+		// An off-mutex group-commit sync or a pinned cache-miss read holds
+		// this file handle; closing it now would fail that fsync or read.
+		// Unlink the file and leave the handle to finishSyncLocked or the
+		// last unpinning reader. No new pin can form: free runs under the
+		// exclusive store lock and removes the segment from the set, and
+		// planRead only pins segments it finds in the set.
 		seg.doomed = true
 	} else if err := seg.file.Close(); err != nil {
 		return err
@@ -523,6 +533,14 @@ func (ss *segmentSet) readRecord(loc Location) (byte, []byte, error) {
 	if err := ss.readAt(seg, buf, int64(loc.Off)); err != nil {
 		return 0, nil, err
 	}
+	return parseRecordBytes(loc, buf)
+}
+
+// parseRecordBytes decodes and CRC-checks a raw record image read from loc.
+// Pure computation over the supplied bytes, shared by readRecord and the
+// off-mutex read path (which fetches the image itself while holding no
+// lock).
+func parseRecordBytes(loc Location, buf []byte) (byte, []byte, error) {
 	typ, bodyLen, err := decodeRecordHeader(buf)
 	if err != nil {
 		return 0, nil, fmt.Errorf("%w: %v", ErrTampered, err)
@@ -602,13 +620,31 @@ func (ss *segmentSet) finishSyncLocked(tasks []syncTask, ok bool) {
 		seg := task.seg
 		seg.syncing = false
 		if seg.doomed {
-			seg.doomed = false
-			seg.file.Close()
+			if seg.readers.Load() == 0 {
+				seg.doomed = false
+				seg.file.Close()
+			}
+			// Otherwise the last unpinning reader closes the handle (see
+			// unpinReaderLocked); it observes syncing == false from here on.
 			continue
 		}
 		if ok && seg.gen == task.gen {
 			seg.synced = true
 		}
+	}
+}
+
+// unpinReaderLocked drops an off-mutex reader's pin on seg, closing the file
+// handle when the cleaner doomed the segment mid-read and this was the last
+// pin. Caller holds the store mutex, shared mode sufficing: a doomed segment
+// has been removed from the set (no new pins can form), so only the single
+// reader whose decrement reaches zero touches the doomed flag and handle,
+// and every exclusive-lock mutation of doomed/syncing is ordered against
+// this read-locked section by the mutex itself.
+func (ss *segmentSet) unpinReaderLocked(seg *segment) {
+	if seg.readers.Add(-1) == 0 && seg.doomed && !seg.syncing {
+		seg.doomed = false
+		seg.file.Close()
 	}
 }
 

@@ -59,15 +59,41 @@ type versionTable struct {
 	// capture pin + root under one read lock.
 	rootOID ObjectID
 
+	// decoded caches unpickled committed objects for the no-chain fallback
+	// path, so hot snapshot reads of stable objects (collection directories,
+	// index headers, bucket pages) skip the chunk store and the unpickling
+	// on every transaction. Entries exist only for objects with no version
+	// chain — one committed state, visible to every live pin — and are
+	// deleted the moment a writer stages a change (stage runs before the
+	// chunk-store merge, so a stale decode can never be re-read afterwards).
+	// Objects handed out from here are shared across transactions under the
+	// same contract as the 2PL shared-read cache: objects opened read-only
+	// must not be mutated. decodedBytes tracks the approximate resident
+	// pickled size for the eviction budget. Guarded by mu.
+	decoded      map[ObjectID]decodedObj
+	decodedBytes int64
+
 	pinMu sync.Mutex
 	// pins counts active read-only transactions per pinned stamp.
 	pins map[uint64]int
 }
 
+// decodedObj is one cached unpickled committed object.
+type decodedObj struct {
+	obj  Object
+	size int64
+}
+
+// decodedBudget bounds the snapshot decode cache's resident pickled bytes.
+// Eviction is arbitrary-order (map iteration): the cache is a recoverable
+// accelerator, not a correctness structure.
+const decodedBudget = 4 << 20
+
 func newVersionTable() *versionTable {
 	return &versionTable{
-		chains: make(map[ObjectID]*verChain),
-		pins:   make(map[uint64]int),
+		chains:  make(map[ObjectID]*verChain),
+		decoded: make(map[ObjectID]decodedObj),
+		pins:    make(map[uint64]int),
 	}
 }
 
@@ -109,16 +135,23 @@ func (vt *versionTable) pin() (stamp uint64, root ObjectID) {
 	return stamp, root
 }
 
-// unpin drops a pin. When the pin was (one of) the oldest, retired
-// versions may have become reclaimable; sweep them out.
+// unpin drops a pin. Only the departure of the last pin at the oldest
+// stamp advances the reclamation horizon, so only that unpin sweeps: any
+// other unpin leaves minPin unchanged and a sweep would find nothing new.
+// Unconditional sweeping made every read-only transaction end take the
+// exclusive table lock, which serialized the whole snapshot read path at
+// high reader counts.
 func (vt *versionTable) unpin(stamp uint64) {
 	vt.pinMu.Lock()
 	vt.pins[stamp]--
 	if vt.pins[stamp] <= 0 {
 		delete(vt.pins, stamp)
 	}
+	advanced := vt.minPinLocked() > stamp
 	vt.pinMu.Unlock()
-	vt.sweep()
+	if advanced {
+		vt.sweep()
+	}
 }
 
 // stagedVersion is one object's contribution to a committing batch.
@@ -146,6 +179,10 @@ func (vt *versionTable) stage(staged []stagedVersion) {
 	vt.mu.Lock()
 	defer vt.mu.Unlock()
 	for _, sv := range staged {
+		if d, cached := vt.decoded[sv.oid]; cached {
+			vt.decodedBytes -= d.size
+			delete(vt.decoded, sv.oid)
+		}
 		c := vt.chains[sv.oid]
 		if c == nil {
 			c = &verChain{vers: []version{{stamp: 0, data: sv.pre, present: sv.preExisted}}}
@@ -224,8 +261,16 @@ func (vt *versionTable) reclaimLocked(oid ObjectID, c *verChain, minPin uint64) 
 }
 
 // sweep reclaims retired versions across all chains (run when the minimum
-// pin advances).
+// pin advances). The read-locked emptiness probe keeps the common
+// read-mostly case — horizon advances, but no chains exist — off the
+// exclusive lock entirely.
 func (vt *versionTable) sweep() {
+	vt.mu.RLock()
+	empty := len(vt.chains) == 0
+	vt.mu.RUnlock()
+	if empty {
+		return
+	}
 	vt.mu.Lock()
 	defer vt.mu.Unlock()
 	min := vt.minPin()
@@ -234,22 +279,54 @@ func (vt *versionTable) sweep() {
 	}
 }
 
-// resolve returns the object state visible at pin. ok is false when the
-// object has no chain (or, defensively, no version at or below pin): the
+// resolve returns the object state visible at pin. When the object has no
+// chain but a cached decode of its committed state exists, that shared
+// object is returned instead (obj non-nil, ok true) — no chain means the
+// one committed state is what every live pin sees. ok is false when the
+// object has neither (or, defensively, no version at or below pin): the
 // caller reads the chunk store and re-checks.
-func (vt *versionTable) resolve(oid ObjectID, pin uint64) (data []byte, present, ok bool) {
+func (vt *versionTable) resolve(oid ObjectID, pin uint64) (data []byte, obj Object, present, ok bool) {
 	vt.mu.RLock()
 	defer vt.mu.RUnlock()
 	c := vt.chains[oid]
 	if c == nil {
-		return nil, false, false
+		if d, cached := vt.decoded[oid]; cached {
+			return nil, d.obj, true, true
+		}
+		return nil, nil, false, false
 	}
 	for i := len(c.vers) - 1; i >= 0; i-- {
 		if v := c.vers[i]; v.stamp <= pin {
-			return v.data, v.present, true
+			return v.data, nil, v.present, true
 		}
 	}
-	return nil, false, false
+	return nil, nil, false, false
+}
+
+// decodedPut caches an unpickled committed object for the no-chain path.
+// The no-chain condition is re-checked under the write lock: the caller
+// decoded bytes it read without the lock, and a writer may have staged a
+// newer state since. The caller's snapshot pin keeps any such chain alive
+// (its baseline pre-image is visible to the pin), so chains[oid] == nil
+// still proves the decode is the one committed state.
+func (vt *versionTable) decodedPut(oid ObjectID, obj Object, size int64) {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if vt.chains[oid] != nil {
+		return
+	}
+	if d, dup := vt.decoded[oid]; dup {
+		vt.decodedBytes -= d.size
+	}
+	for vt.decodedBytes+size > decodedBudget && len(vt.decoded) > 0 {
+		for k, d := range vt.decoded {
+			vt.decodedBytes -= d.size
+			delete(vt.decoded, k)
+			break
+		}
+	}
+	vt.decoded[oid] = decodedObj{obj: obj, size: size}
+	vt.decodedBytes += size
 }
 
 // chainCount reports the number of live version chains (tests and stats).

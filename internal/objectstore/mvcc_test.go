@@ -303,6 +303,127 @@ func TestSnapshotPinsOnePointInHistory(t *testing.T) {
 	}
 }
 
+// TestSnapshotDecodeCacheSharing pins the decode-cache contract at the store
+// level: consecutive snapshot transactions reading a stable object share one
+// unpickled instance, a commit invalidates that instance before its merge (so
+// a fresh snapshot decodes — and sees — the new state), and a snapshot pinned
+// before the commit keeps reading the old state through the version chain.
+func TestSnapshotDecodeCacheSharing(t *testing.T) {
+	e := newOSEnv(t)
+	s := e.open(t)
+	defer s.Close()
+
+	setup := s.Begin()
+	oid, err := setup.Insert(&Meter{ID: 1, ViewCount: 7})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := setup.Commit(true); err != nil {
+		t.Fatalf("setup commit: %v", err)
+	}
+
+	// First snapshot read decodes from the chunk store and caches; the second
+	// must be handed the very same instance.
+	ro1 := s.BeginReadOnly()
+	r1, err := OpenReadonly[*Meter](ro1, oid)
+	if err != nil {
+		t.Fatalf("snapshot 1 read: %v", err)
+	}
+	ro2 := s.BeginReadOnly()
+	r2, err := OpenReadonly[*Meter](ro2, oid)
+	if err != nil {
+		t.Fatalf("snapshot 2 read: %v", err)
+	}
+	if r1.Deref() != r2.Deref() {
+		t.Fatalf("stable object not shared across snapshots: %p vs %p", r1.Deref(), r2.Deref())
+	}
+	ro1.Abort()
+	ro2.Abort()
+
+	// Pin a snapshot, then overwrite the object. The stage step must evict
+	// the cached decode before the merge, so the post-commit snapshot cannot
+	// be handed the stale instance.
+	old := s.BeginReadOnly()
+	w := s.Begin()
+	wref, err := OpenWritable[*Meter](w, oid)
+	if err != nil {
+		t.Fatalf("OpenWritable: %v", err)
+	}
+	wref.Deref().ViewCount = 1000
+	if err := w.Commit(true); err != nil {
+		t.Fatalf("writer commit: %v", err)
+	}
+
+	fresh := s.BeginReadOnly()
+	fref, err := OpenReadonly[*Meter](fresh, oid)
+	if err != nil {
+		t.Fatalf("post-commit snapshot read: %v", err)
+	}
+	if got := fref.Deref().ViewCount; got != 1000 {
+		t.Fatalf("post-commit snapshot ViewCount = %d, want 1000", got)
+	}
+	oref, err := OpenReadonly[*Meter](old, oid)
+	if err != nil {
+		t.Fatalf("pinned snapshot read: %v", err)
+	}
+	if got := oref.Deref().ViewCount; got != 7 {
+		t.Fatalf("pinned snapshot ViewCount = %d, want pre-commit 7", got)
+	}
+	old.Abort()
+	fresh.Abort()
+}
+
+// TestDecodeCacheTableInvariants exercises the versionTable decode cache
+// white-box: decodedPut refuses an object that grew a chain (the stale-decode
+// race re-check), stage evicts an existing entry, and the byte budget evicts
+// rather than grows without bound.
+func TestDecodeCacheTableInvariants(t *testing.T) {
+	vt := newVersionTable()
+	obj := &Meter{ID: 1}
+
+	// A staged chain blocks decodedPut: the decode may predate the stage.
+	sv := []stagedVersion{{oid: 7, data: []byte{1}, present: true, preExisted: true}}
+	vt.stage(sv)
+	vt.decodedPut(7, obj, 100)
+	if _, cached := vt.decoded[7]; cached {
+		t.Fatalf("decodedPut cached an object with a live chain")
+	}
+	vt.unstage(sv)
+
+	// With no chain the put lands, and a later stage evicts it.
+	vt.decodedPut(7, obj, 100)
+	if _, cached := vt.decoded[7]; !cached {
+		t.Fatalf("decodedPut did not cache a chainless object")
+	}
+	vt.stage(sv)
+	if _, cached := vt.decoded[7]; cached {
+		t.Fatalf("stage left a stale decode behind")
+	}
+	vt.unstage(sv)
+	if vt.decodedBytes != 0 {
+		t.Fatalf("decodedBytes = %d after eviction, want 0", vt.decodedBytes)
+	}
+
+	// The budget holds: inserting past it evicts down, never grows past it.
+	const half = decodedBudget / 2
+	vt.decodedPut(1, obj, half)
+	vt.decodedPut(2, obj, half)
+	vt.decodedPut(3, obj, half)
+	if vt.decodedBytes > decodedBudget {
+		t.Fatalf("decodedBytes = %d exceeds budget %d", vt.decodedBytes, decodedBudget)
+	}
+	if len(vt.decoded) != 2 {
+		t.Fatalf("decoded entries = %d after budget eviction, want 2", len(vt.decoded))
+	}
+	// Re-putting an existing id replaces, not double-counts.
+	for id := range vt.decoded {
+		vt.decodedPut(id, obj, half)
+	}
+	if vt.decodedBytes > decodedBudget {
+		t.Fatalf("decodedBytes = %d after duplicate put, want <= %d", vt.decodedBytes, decodedBudget)
+	}
+}
+
 // TestSnapshotStress races snapshot readers against group-commit writers and
 // version reclamation (run under -race). Writers each own a pair of meters
 // and move counts between them so every committed state keeps the pair's sum

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdb/internal/chunkstore"
@@ -55,8 +56,10 @@ type Store struct {
 	rootChunk chunkstore.ChunkID
 	rootOID   ObjectID
 
-	// txnSeq numbers transactions (diagnostics only).
-	txnSeq uint64
+	// txnSeq numbers transactions (diagnostics only). Atomic so
+	// BeginReadOnly never queues behind a writer's store-mutex critical
+	// section just to draw an id.
+	txnSeq atomic.Uint64
 	closed bool
 }
 
@@ -168,12 +171,9 @@ func (s *Store) Root() ObjectID {
 
 // Begin starts a read-write transaction.
 func (s *Store) Begin() *Txn {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.txnSeq++
 	return &Txn{
 		s:      s,
-		id:     s.txnSeq,
+		id:     s.txnSeq.Add(1),
 		active: true,
 		locks:  make(map[ObjectID]lockMode),
 		opened: make(map[ObjectID]*txnObject),
@@ -188,14 +188,10 @@ func (s *Store) Begin() *Txn {
 // ErrReadOnlyTxn. End one with Commit or Abort (equivalent) so the pinned
 // versions become reclaimable.
 func (s *Store) BeginReadOnly() *Txn {
-	s.mu.Lock()
-	s.txnSeq++
-	id := s.txnSeq
-	s.mu.Unlock()
 	pin, root := s.versions.pin()
 	return &Txn{
 		s:        s,
-		id:       id,
+		id:       s.txnSeq.Add(1),
 		readOnly: true,
 		roActive: true,
 		pin:      pin,

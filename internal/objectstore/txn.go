@@ -164,7 +164,8 @@ func (t *Txn) snapshotOpen(oid ObjectID) (Object, error) {
 		return obj, nil
 	}
 	vt := t.s.versions
-	data, present, ok := vt.resolve(oid, t.pin)
+	data, shared, present, ok := vt.resolve(oid, t.pin)
+	cacheable := false
 	if !ok {
 		// No chain: the chunk store holds the committed state. The read
 		// can race a committing writer's merge, so re-check the table
@@ -172,22 +173,32 @@ func (t *Txn) snapshotOpen(oid ObjectID) (Object, error) {
 		// chain (with our pre-image as baseline) before merging, so the
 		// chain is visible by now if the race happened.
 		raw, err := t.s.chunks.Read(chunkstore.ChunkID(oid))
-		if data, present, ok = vt.resolve(oid, t.pin); !ok {
+		if data, shared, present, ok = vt.resolve(oid, t.pin); !ok {
 			if err != nil {
 				if errors.Is(err, chunkstore.ErrNotAllocated) || errors.Is(err, chunkstore.ErrNotWritten) {
 					return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
 				}
 				return nil, err
 			}
-			data, present = raw, true
+			data, present, cacheable = raw, true, true
 		}
 	}
 	if !present {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
 	}
+	if shared != nil {
+		t.snapObjs[oid] = shared
+		return shared, nil
+	}
 	obj, err := unpickleObject(t.s.cfg.Registry, data)
 	if err != nil {
 		return nil, err
+	}
+	if cacheable {
+		// The decode came straight from the committed chunk state with no
+		// chain in sight; share it with future snapshots (decodedPut
+		// re-checks the no-chain condition under the table lock).
+		vt.decodedPut(oid, obj, int64(len(data)))
 	}
 	t.snapObjs[oid] = obj
 	return obj, nil

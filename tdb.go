@@ -96,6 +96,10 @@ type (
 	RetryPolicy = chunkstore.RetryPolicy
 	// GroupCommitConfig tunes durable-commit coalescing (Options.GroupCommit).
 	GroupCommitConfig = chunkstore.GroupCommitConfig
+	// Stats is what DB.Stats reports: storage sizes, commit/cleaning
+	// counters, and read-path telemetry (read-cache hits, misses, shard
+	// count, slow-path fallbacks).
+	Stats = chunkstore.Stats
 )
 
 // Object store types: persistent objects, pickling, class registry.

@@ -38,9 +38,9 @@ func TestChaosOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos run failed:\n%v", err)
 	}
-	t.Logf("chaos: %d actions, %d commits, %d crashes/%d recoveries, %d restarts, %d storms, %d backups, %d restores, %d tamper checks",
+	t.Logf("chaos: %d actions, %d commits, %d crashes/%d recoveries, %d restarts, %d storms, %d read-storms, %d backups, %d restores, %d tamper checks",
 		res.Actions, res.Commits, res.Crashes, res.Recoveries, res.Restarts,
-		res.Storms, res.Backups, res.Restores, res.TamperChecks)
+		res.Storms, res.ReadStorms, res.Backups, res.Restores, res.TamperChecks)
 	t.Logf("chaos: injector saw %d reads, %d writes; injected %d transient errors, flipped %d bits",
 		res.FaultStats.Reads, res.FaultStats.Writes, res.FaultStats.TransientErrors, res.FaultStats.BitsFlipped)
 	// A run long enough to matter must actually have exercised the chaos
@@ -52,6 +52,11 @@ func TestChaosOracle(t *testing.T) {
 		if res.Storms+res.TamperChecks == 0 {
 			t.Fatalf("no bit-rot storms or tamper checks in %d actions", res.Actions)
 		}
+	}
+	// Read storms have a ~4% slot; on a long run their absence means the
+	// concurrent-reader schedule stopped being exercised.
+	if *chaosActions >= 400 && res.ReadStorms == 0 {
+		t.Fatalf("no read storms in %d actions", res.Actions)
 	}
 }
 
