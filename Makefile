@@ -15,7 +15,7 @@ WRITEBEHIND ?= on off
 CHAOS_SEED ?= 42
 CHAOS_ACTIONS ?= 500
 
-.PHONY: build test check faults lint bench bench-smoke bench-read-scaling chaos
+.PHONY: build test check faults lint bench bench-smoke bench-read-scaling bench-scan chaos
 
 build:
 	$(GO) build ./...
@@ -76,8 +76,9 @@ bench:
 
 # bench-smoke runs every benchmark exactly once per write-behind mode —
 # not for numbers, only to keep the benchmarks compiling and passing their
-# own assertions in both states — plus the read-scaling smoke below.
-bench-smoke: bench-read-scaling
+# own assertions in both states — plus the read-scaling and scan smokes
+# below.
+bench-smoke: bench-read-scaling bench-scan
 	@for wb in $(WRITEBEHIND); do \
 		echo "== bench-smoke (TDB_WRITEBEHIND=$$wb) =="; \
 		TDB_WRITEBEHIND=$$wb $(GO) test ./... -run XXX -bench . -benchtime 1x || exit 1; \
@@ -93,4 +94,15 @@ bench-read-scaling:
 		echo "== bench-read-scaling (TDB_WRITEBEHIND=$$wb) =="; \
 		TDB_WRITEBEHIND=$$wb $(GO) test ./internal/chunkstore/ -run XXX \
 			-bench BenchmarkConcurrentRead -benchtime 1x -cpu 1,8 || exit 1; \
+	done
+
+# bench-scan runs the scan-pipeline experiment (DESIGN.md §7.8) in its
+# seconds-long smoke shape, in both write-behind modes: full-collection
+# sweeps with the prefetch window off and on, against a simulated disk, with
+# and without a live writer. Not for numbers on the gate — the full shape
+# (`tdbbench -exp scan`) produces the rows recorded in BENCH_objstore.json.
+bench-scan:
+	@for wb in $(WRITEBEHIND); do \
+		echo "== bench-scan (TDB_WRITEBEHIND=$$wb) =="; \
+		TDB_WRITEBEHIND=$$wb $(GO) run ./cmd/tdbbench -exp scan -smoke || exit 1; \
 	done

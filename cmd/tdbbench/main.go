@@ -5,6 +5,7 @@
 //	tdbbench -exp fig11         TDB response time & db size vs utilization
 //	tdbbench -exp crypto        ablation: 3DES/SHA-1 vs AES/SHA-256 suites
 //	tdbbench -exp objstore      object-store durable commit throughput/latency
+//	tdbbench -exp scan          full-collection scans: prefetch off vs on
 //	tdbbench -exp all           everything above
 //
 // With -json, the objstore experiment also writes BENCH_objstore.json so
@@ -33,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		workers = flag.Int("workers", 8, "concurrent committers for the objstore experiment")
 		jsonOut = flag.Bool("json", false, "write objstore results to BENCH_objstore.json")
+		smoke   = flag.Bool("smoke", false, "shrink the scan experiment to a seconds-long smoke pass")
 	)
 	flag.Parse()
 
@@ -54,6 +56,8 @@ func main() {
 		err = runCrypto(cfg)
 	case "objstore":
 		err = runObjstore(*workers, *txns, *jsonOut)
+	case "scan":
+		err = runScanExperiments(&objstoreReport{}, *smoke)
 	case "all":
 		if err = runFig9(cfg); err == nil {
 			if err = runFig10(cfg); err == nil {

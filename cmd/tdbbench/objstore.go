@@ -56,6 +56,11 @@ type objstoreReport struct {
 	// read-mostly contention over a hot object set, and a large-object
 	// update stream (ycsb.go).
 	YCSBRuns []ycsbRunResult `json:"ycsb_runs,omitempty"`
+	// ScanRuns records the full-collection scan experiments: sweep
+	// throughput with the iterator prefetch pipeline off (window 0, the
+	// pre-pipeline baseline) and on, alone and against a live writer
+	// (scan.go).
+	ScanRuns []scanRunResult `json:"scan_runs,omitempty"`
 }
 
 // readRunResult is one snapshot-read configuration's measurements.
@@ -449,6 +454,9 @@ func runObjstore(workers, txns int, jsonOut bool) error {
 		return err
 	}
 	if err := runYCSB(&report, workers, txns); err != nil {
+		return err
+	}
+	if err := runScanExperiments(&report, false); err != nil {
 		return err
 	}
 	if jsonOut {

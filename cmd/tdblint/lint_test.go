@@ -53,6 +53,7 @@ func TestFixtureFindings(t *testing.T) {
 		`internal/chunkstore/lockedio.go:51: [raw-io-funnel] direct (fixmod/internal/platform.File).WriteAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/lockorder.go:23: [lock-order] chunkstore.door.mu acquired while chunkstore.wall.mu is held creates a cycle in the module lock graph (chunkstore.wall.mu → chunkstore.door.mu → chunkstore.wall.mu); take module mutexes in one global order`,
 		`internal/chunkstore/lockorder.go:38: [lock-order] chunkstore.wall.mu acquired while chunkstore.door.mu is held (via grabWall) creates a cycle in the module lock graph (chunkstore.door.mu → chunkstore.wall.mu → chunkstore.door.mu); take module mutexes in one global order`,
+		`internal/chunkstore/prefetch.go:86: [locked-io] (fixmod/internal/sec.Suite).Decrypt called while p.mu is held; move I/O and crypto off the critical section or declare a serialization point (*Locked / //tdblint:serial)`,
 		`internal/chunkstore/rawio.go:19: [raw-io-funnel] direct (fixmod/internal/platform.File).ReadAt bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/rawio.go:24: [raw-io-funnel] direct (fixmod/internal/platform.File).Truncate bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
 		`internal/chunkstore/rawio.go:29: [raw-io-funnel] direct (fixmod/internal/platform.File).Sync bypasses the retry/write-behind funnel; route raw file I/O through RetryPolicy.run (the segmentSet/superblock helpers)`,
@@ -95,7 +96,7 @@ func TestFixtureFindings(t *testing.T) {
 // hygiene).
 func TestFixturePerAnalyzer(t *testing.T) {
 	counts := map[string]int{
-		"locked-io":       4, // lockedio.go ×2, readpath.go ×1 (decrypt under RLock), the cross-package snapshot-path case in objectstore/mvcc.go
+		"locked-io":       5, // lockedio.go ×2, readpath.go ×1 (decrypt under RLock), prefetch.go ×1 (decrypt under the pool mutex), the cross-package snapshot-path case in objectstore/mvcc.go
 		"err-taxonomy":    5, // taxonomy.go ×3, ignore.go ×2 (bare directives suppress nothing)
 		"secret-hygiene":  3,
 		"clock-injection": 2,

@@ -1,0 +1,94 @@
+// prefetch.go — scan-prefetch pipeline fixture (DESIGN.md §7.8): batch reads
+// are planned under one short shared-lock snapshot, then fetched and
+// decrypted by worker goroutines spawned with no lock held. locked-io must
+// stay silent on the pure planning section and on the off-lock workers —
+// funneled I/O and bulk crypto are exactly what belongs there — while bulk
+// crypto under the pool's dispatch mutex is still a violation, and the pool
+// mutex joins the module lock graph as a new, acyclic class.
+package chunkstore
+
+import "sync"
+
+// rpool is the fixture prefetch worker pool: its mutex is a distinct lock
+// class (chunkstore.rpool.mu) with a consistent place in the global order
+// (after rstore.mu, never inverted), so the lock-order analyzer must keep
+// it cycle-free.
+type rpool struct {
+	mu    sync.Mutex
+	queue [][]byte
+}
+
+// planBatch snapshots the read plans for a window of ids under one pure
+// RLock section and fans the fetch + decrypt across workers spawned after
+// the lock is released: negative for locked-io (nothing hot runs under the
+// lock) and for raw-io-funnel (the reads go through the retry funnel).
+func (s *rstore) planBatch(ids []uint64) ([][]byte, error) {
+	s.mu.RLock()
+	stamp := s.epoch
+	offs := make([]int64, len(ids))
+	for i, id := range ids {
+		offs[i] = int64(id)
+	}
+	n := s.length
+	s.mu.RUnlock()
+
+	bufs := make([][]byte, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, n)
+			if err := s.retry.run(func() error {
+				_, err := s.file.ReadAt(buf, offs[i])
+				return err
+			}); err != nil {
+				errs[i] = err
+				return
+			}
+			bufs[i], errs[i] = s.suite.Decrypt(buf)
+		}(i)
+	}
+	wg.Wait()
+
+	s.mu.RLock()
+	current := s.epoch == stamp
+	s.mu.RUnlock()
+	if !current {
+		return nil, nil
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return bufs, nil
+}
+
+// dispatch establishes the sanctioned order rstore.mu → rpool.mu (a new
+// edge with no inversion anywhere, so the class stays acyclic).
+func (s *rstore) dispatch(p *rpool, b []byte) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p.mu.Lock()
+	p.queue = append(p.queue, b)
+	p.mu.Unlock()
+}
+
+// drain decrypts the queued buffers while holding the pool dispatch mutex:
+// positive (bulk crypto under the pool lock stalls every worker).
+func (p *rpool) drain(s *rstore) ([][]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([][]byte, 0, len(p.queue))
+	for _, b := range p.queue {
+		plain, err := s.suite.Decrypt(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plain)
+	}
+	p.queue = nil
+	return out, nil
+}

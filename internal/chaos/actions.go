@@ -279,7 +279,17 @@ func probeExact(hdl *tdb.Collection, id int64) (int, ObjState, error) {
 	return n, st, nil
 }
 
-// actScan spot-checks a few point lookups through a snapshot transaction.
+// actScan spot-checks a few point lookups through a snapshot transaction,
+// then sweeps the whole collection through a prefetching iterator while the
+// cleaner (and occasionally the scrubber) churns the log underneath — the
+// prefetch pipeline's epoch revalidation must deliver exactly the snapshot's
+// objects no matter what relocates mid-scan. The window cycles through 0
+// (prefetch disabled — the pre-pipeline behavior), 1, and the default-sized
+// 32. Determinism: every random choice is drawn on the main thread before
+// the sweep starts, and read-fault injection is switched off for its
+// duration (the prefetcher's goroutine reads concurrently; with the read
+// probability zeroed they consume no injector draws — the actReadStorm
+// recipe).
 func (h *harness) actScan() error {
 	cols := h.existingCols()
 	if len(cols) == 0 {
@@ -315,7 +325,59 @@ func (h *harness) actScan() error {
 	if n != 0 {
 		return fmt.Errorf("invariant: scan %s: phantom id %d matched %d objects", col, missing, n)
 	}
-	h.tracef("scan %s probes=%d", col, probes)
+
+	// Full sweep through a prefetching iterator racing the cleaner. The
+	// window cycles with the action counter rather than drawing from the
+	// RNG: the sweep is deterministic either way, and not consuming a draw
+	// keeps the action trace closer across versions of this action.
+	window := []int{0, 1, 32}[h.action%3]
+	cleanEvery := 8 + h.rng.Intn(25)
+	doScrub := h.rng.Chance(0.3)
+	h.fs.SetTransientProb(0, 0.01, 1)
+	defer h.fs.SetTransientProb(0.01, 0.01, 1)
+
+	it, err := hdl.Query(byID())
+	if err != nil {
+		return h.opErr("scan:query "+col, err)
+	}
+	defer it.Close()
+	it.SetPrefetch(window)
+	seen := make(map[int64]bool, len(want))
+	i := 0
+	for it.Next() {
+		o, err := tdb.ReadAs[*Obj](it)
+		if err != nil {
+			return h.opErr(fmt.Sprintf("scan sweep %s@%d", col, i), err)
+		}
+		st, ok := want[o.ID]
+		if !ok || seen[o.ID] || o.state() != st {
+			return fmt.Errorf("invariant: scan sweep %s@%d: object %d wrong, duplicate, or phantom (%+v)", col, i, o.ID, o.state())
+		}
+		seen[o.ID] = true
+		if i%cleanEvery == cleanEvery-1 {
+			// Relocation pressure mid-scan: prefetched-but-unconsumed chunks
+			// get moved, forcing the revalidate-and-retry path. The cleaner
+			// writes, so this can crash; the sweep then just winds down.
+			if err := h.db.Clean(); err != nil {
+				return h.opErr("scan sweep clean", err)
+			}
+			if doScrub && i/cleanEvery == 1 {
+				report, err := h.db.Scrub()
+				if err != nil {
+					return h.opErr("scan sweep scrub", err)
+				}
+				if !report.Clean() {
+					return fmt.Errorf("invariant: mid-scan scrub dirty with no outstanding damage: bad=%v map=%v",
+						report.BadIDs(), report.MapDamage)
+				}
+			}
+		}
+		i++
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("invariant: scan sweep %s: saw %d objects, want %d", col, len(seen), len(want))
+	}
+	h.tracef("scan %s probes=%d sweep=%d window=%d", col, probes, len(seen), window)
 	return nil
 }
 

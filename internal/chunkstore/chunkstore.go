@@ -133,4 +133,16 @@ type Stats struct {
 	// exclusive-lock read path instead of completing off-mutex (map node
 	// not resident, or repeated relocation races mid-read).
 	ReadSlowPaths int64
+	// CoalescedReads counts batch segment reads that merged two or more
+	// physically adjacent records into a single ReadAt; CoalescedChunks is
+	// the number of records those merged reads delivered (see ReadBatch).
+	CoalescedReads  int64
+	CoalescedChunks int64
+	// PrefetchedChunks counts chunks the batch read path fetched and
+	// validated on behalf of prefetch hints. PrefetchHits counts prefetched
+	// read-cache entries later consumed by a read; PrefetchWasted counts
+	// prefetched entries evicted or invalidated before anything read them.
+	PrefetchedChunks int64
+	PrefetchHits     int64
+	PrefetchWasted   int64
 }

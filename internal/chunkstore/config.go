@@ -3,6 +3,7 @@ package chunkstore
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -103,6 +104,11 @@ type Config struct {
 	// batch's payloads during commit preparation. 0 selects one worker per
 	// CPU; 1 prepares inline on the committing goroutine.
 	CommitWorkers int
+	// PrefetchWorkers bounds the goroutines one ReadBatch call fans its
+	// segment reads, hash validations, and decryptions across. 0 selects
+	// one per CPU capped at 8; 1 executes the batch inline on the calling
+	// goroutine.
+	PrefetchWorkers int
 	// DisableAutoClean turns off post-commit cleaning (the benchmarks'
 	// idle-cleaning experiments drive the cleaner explicitly).
 	DisableAutoClean bool
@@ -170,6 +176,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.CommitWorkers < 0 {
 		return fmt.Errorf("%w: commit workers %d negative", ErrUsage, c.CommitWorkers)
+	}
+	if c.PrefetchWorkers < 0 {
+		return fmt.Errorf("%w: prefetch workers %d negative", ErrUsage, c.PrefetchWorkers)
+	}
+	if c.PrefetchWorkers == 0 {
+		c.PrefetchWorkers = runtime.GOMAXPROCS(0)
+		if c.PrefetchWorkers > 8 {
+			c.PrefetchWorkers = 8
+		}
 	}
 	if c.WriteBehind == 0 {
 		c.WriteBehind = defaultWriteBehind()

@@ -40,11 +40,18 @@ type readCache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	// prefetchHits counts first consumptions of entries the batch prefetch
+	// path published; prefetchWasted counts prefetched entries that were
+	// evicted or invalidated before anything read them. Together they tell
+	// whether a prefetch window is doing useful work or churning the cache.
+	prefetchHits   atomic.Int64
+	prefetchWasted atomic.Int64
 }
 
 // rcShard is one independently locked slice of the cache.
 type rcShard struct {
 	mu     sync.RWMutex
+	rc     *readCache
 	pool   *lru.Pool
 	byHash map[string]*rcEntry
 	byCID  map[ChunkID]*rcEntry
@@ -58,6 +65,12 @@ type rcEntry struct {
 	data []byte
 	cids map[ChunkID]struct{}
 	ent  *lru.Entry
+	// prefetched is set when the entry was published by the batch prefetch
+	// path and nothing has read it yet; the first get clears it (a prefetch
+	// hit), and eviction or invalidation of a still-set entry counts as
+	// wasted prefetch work. Atomic so a hit under the shard read lock can
+	// claim it without upgrading.
+	prefetched atomic.Bool
 }
 
 // rcEntryOverhead approximates the per-entry bookkeeping cost charged to
@@ -92,6 +105,7 @@ func newReadCache(budget int64) *readCache {
 	rc := &readCache{shards: make([]*rcShard, n), mask: uint64(n - 1)}
 	for i := range rc.shards {
 		rc.shards[i] = &rcShard{
+			rc:     rc,
 			pool:   lru.NewPool(budget / int64(n)),
 			byHash: make(map[string]*rcEntry),
 			byCID:  make(map[ChunkID]*rcEntry),
@@ -125,6 +139,9 @@ func (rc *readCache) get(cid ChunkID) ([]byte, bool) {
 		return nil, false
 	}
 	rc.hits.Add(1)
+	if e.prefetched.CompareAndSwap(true, false) {
+		rc.prefetchHits.Add(1)
+	}
 	if sh.mu.TryLock() {
 		if e.ent != nil {
 			e.ent.Touch() // no-op if the entry was evicted meanwhile
@@ -137,6 +154,14 @@ func (rc *readCache) get(cid ChunkID) ([]byte, bool) {
 // put records plain as the current validated content of cid. The slice is
 // copied; callers keep ownership of their buffer.
 func (rc *readCache) put(cid ChunkID, hash []byte, plain []byte) {
+	rc.putTagged(cid, hash, plain, false)
+}
+
+// putTagged is put with provenance: prefetched entries carry a flag the
+// hit/wasted telemetry consumes (see rcEntry.prefetched). A point read
+// publishing content that is already resident leaves any existing flag
+// alone — the upcoming consumption will claim it.
+func (rc *readCache) putTagged(cid ChunkID, hash []byte, plain []byte, prefetched bool) {
 	if rc == nil {
 		return
 	}
@@ -154,8 +179,12 @@ func (rc *readCache) put(cid ChunkID, hash []byte, plain []byte) {
 	e := sh.byHash[h]
 	if e == nil {
 		e = &rcEntry{hash: h, data: append([]byte(nil), plain...), cids: make(map[ChunkID]struct{}, 1)}
+		e.prefetched.Store(prefetched)
 		sh.byHash[h] = e
 		e.ent = sh.pool.Add(int64(len(e.data))+rcEntryOverhead, func() bool {
+			if e.prefetched.Swap(false) {
+				rc.prefetchWasted.Add(1)
+			}
 			delete(sh.byHash, e.hash)
 			for c := range e.cids {
 				delete(sh.byCID, c)
@@ -188,6 +217,9 @@ func (sh *rcShard) detachLocked(cid ChunkID, e *rcEntry) {
 	delete(e.cids, cid)
 	delete(sh.byCID, cid)
 	if len(e.cids) == 0 {
+		if e.prefetched.Swap(false) {
+			sh.rc.prefetchWasted.Add(1)
+		}
 		e.ent.Remove()
 		delete(sh.byHash, e.hash)
 	}
@@ -220,4 +252,12 @@ func (rc *readCache) stats() (bytes, hits, misses int64, shards int) {
 		sh.mu.RUnlock()
 	}
 	return bytes, rc.hits.Load(), rc.misses.Load(), len(rc.shards)
+}
+
+// prefetchStats reports the prefetch hit/wasted counters.
+func (rc *readCache) prefetchStats() (hits, wasted int64) {
+	if rc == nil {
+		return 0, 0
+	}
+	return rc.prefetchHits.Load(), rc.prefetchWasted.Load()
 }

@@ -99,6 +99,49 @@ func (rf *readFlights) do(cid ChunkID, fn func() ([]byte, error)) (data []byte, 
 	return f.data, f.err, false
 }
 
+// tryClaim registers a flight for cid unless one is already in progress,
+// without blocking. Batch reads use it to dedupe against concurrent readers:
+// a successful claim makes this caller the leader (point readers joining via
+// do become its followers), while a failed claim means another reader — a
+// point read or another batch — is already fetching the chunk and will
+// publish it, so a prefetch can simply skip it. A claimed flight must be
+// released with complete or abandon.
+func (rf *readFlights) tryClaim(cid ChunkID) *readFlight {
+	sh := rf.shard(cid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m[cid] != nil {
+		return nil
+	}
+	f := &readFlight{done: make(chan struct{})}
+	sh.m[cid] = f
+	return f
+}
+
+// complete publishes a claimed flight's result and releases it, waking
+// followers with the same result the leader computed.
+func (rf *readFlights) complete(cid ChunkID, f *readFlight, data []byte, err error) {
+	f.data, f.err = data, err
+	sh := rf.shard(cid)
+	sh.mu.Lock()
+	delete(sh.m, cid)
+	sh.mu.Unlock()
+	close(f.done)
+}
+
+// abandon releases a claimed flight without a result: followers observe
+// stale and retry against the read cache, exactly as after a superseding
+// commit. Batch reads abandon before falling back to the point-read path,
+// which would otherwise deadlock following its own flight.
+func (rf *readFlights) abandon(cid ChunkID, f *readFlight) {
+	sh := rf.shard(cid)
+	sh.mu.Lock()
+	f.stale = true
+	delete(sh.m, cid)
+	sh.mu.Unlock()
+	close(f.done)
+}
+
 // invalidate marks any in-flight read of cid stale. Called from the commit
 // path, under the store mutex, for every chunk a sealed batch wrote or
 // deallocated.

@@ -50,6 +50,14 @@ type Store struct {
 	// races). The happy path never touches the exclusive lock; tests assert
 	// this stays zero for warm-map workloads.
 	readSlow atomic.Int64
+	// coalescedReads counts batch segment reads that merged two or more
+	// physically adjacent records into one ReadAt; coalescedChunks counts the
+	// records those merged reads delivered. prefetchedChunks counts chunks
+	// the batch read path fetched and validated on behalf of a prefetch hint
+	// (see readbatch.go).
+	coalescedReads   atomic.Int64
+	coalescedChunks  atomic.Int64
+	prefetchedChunks atomic.Int64
 	// ivGen hands out IV-sequence generations (one per commit preparation,
 	// checkpoint, or cleaner relocation). It never repeats across the life
 	// of the database: the superblock persists a reservation high-water mark
@@ -484,6 +492,15 @@ type readPlan struct {
 	// under the lock.
 	fromFile int64
 	stamp    uint64
+	// prefetch marks a plan issued on behalf of a prefetch hint: its cache
+	// publication is tagged so the hit/wasted telemetry can tell prefetched
+	// entries from ones point reads fetched for themselves.
+	prefetch bool
+	// flight is the singleflight registration a batch read claimed for this
+	// chunk, so concurrent point readers follow the batch instead of paying
+	// the same I/O. completeBatchPlan releases it; nil for point-read plans
+	// (Read registers through flights.do itself).
+	flight *readFlight
 }
 
 // planRead snapshots everything a cache-miss read needs under the shared
@@ -497,6 +514,13 @@ func (s *Store) planRead(cid ChunkID) (*readPlan, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	return s.planReadLocked(cid)
+}
+
+// planReadLocked is planRead's body, shared with the batch read planner
+// (which plans a whole window of chunks under one shared-lock section).
+// Caller holds s.mu (shared suffices) and has checked the closed flag.
+func (s *Store) planReadLocked(cid ChunkID) (*readPlan, error) {
 	e, resident := s.lm.getCached(cid)
 	if !resident {
 		return nil, nil
@@ -575,7 +599,7 @@ func (s *Store) finishRead(p *readPlan, plain []byte, rerr error) (data []byte, 
 		}
 	}
 	if current && rerr == nil && !closed && !quarantined {
-		s.rcache.put(p.cid, p.e.hash, plain)
+		s.rcache.putTagged(p.cid, p.e.hash, plain, p.prefetch)
 	}
 	s.mu.RUnlock()
 	switch {
@@ -588,8 +612,13 @@ func (s *Store) finishRead(p *readPlan, plain []byte, rerr error) (data []byte, 
 		return nil, nil, false
 	case rerr != nil:
 		if errors.Is(rerr, ErrTampered) && !errors.Is(rerr, ErrIO) {
-			err, _ := s.failTamperedRead(p.cid, p.e, rerr)
-			return nil, err, true
+			if err, done := s.failTamperedRead(p.cid, p.e, rerr); done {
+				return nil, err, true
+			}
+			// The entry moved between the revalidation above and the
+			// exclusive-lock confirmation: the failure was computed against a
+			// superseded snapshot, not damage. Retry.
+			return nil, nil, false
 		}
 		return nil, rerr, true
 	}
@@ -1012,6 +1041,10 @@ func (s *Store) Stats() Stats {
 	}
 	st.ReadCacheBytes, st.ReadCacheHits, st.ReadCacheMisses, st.ReadCacheShards = s.rcache.stats()
 	st.ReadSlowPaths = s.readSlow.Load()
+	st.CoalescedReads = s.coalescedReads.Load()
+	st.CoalescedChunks = s.coalescedChunks.Load()
+	st.PrefetchedChunks = s.prefetchedChunks.Load()
+	st.PrefetchHits, st.PrefetchWasted = s.rcache.prefetchStats()
 	if disk > 0 {
 		st.Utilization = float64(live) / float64(disk)
 	}

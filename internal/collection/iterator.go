@@ -39,6 +39,14 @@ type Iterator struct {
 	// deletes records deferred deletions.
 	deletes map[objectstore.ObjectID]*updateRec
 	closed  bool
+
+	// pf is the sliding-window prefetcher, started lazily on the first Next
+	// so a never-advanced iterator costs nothing. prefetch is the requested
+	// window depth: -1 means "resolve from the store default on first Next";
+	// 0 disables.
+	pf        *prefetcher
+	prefetch  int
+	pfStarted bool
 }
 
 // updateRec tracks one dereferenced object.
@@ -57,13 +65,29 @@ func (h *Handle) newIterator(collect func(fn func(objectstore.ObjectID) error) e
 		return nil, err
 	}
 	h.openIters++
+	// updates and deletes allocate lazily on first use: read-only scans — the
+	// overwhelmingly common case — never touch either map.
 	return &Iterator{
-		h:       h,
-		oids:    oids,
-		pos:     -1,
-		updates: make(map[objectstore.ObjectID]*updateRec),
-		deletes: make(map[objectstore.ObjectID]*updateRec),
+		h:        h,
+		oids:     oids,
+		pos:      -1,
+		prefetch: -1,
 	}, nil
+}
+
+// SetPrefetch overrides the scan-prefetch window for this iterator: n
+// objects are fetched, validated, and decrypted ahead of the cursor. 0
+// disables prefetching; negative restores the store default (Options
+// ScanPrefetch / TDB_SCANPREFETCH, default 32). Effective only before the
+// first Next; later calls are ignored.
+func (it *Iterator) SetPrefetch(n int) {
+	if it.pfStarted {
+		return
+	}
+	if n < 0 {
+		n = -1
+	}
+	it.prefetch = n
 }
 
 // Next advances to the next result; it returns false when the result set is
@@ -77,6 +101,18 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	it.pos++
+	if !it.pfStarted {
+		it.pfStarted = true
+		w := it.prefetch
+		if w < 0 {
+			w = it.h.ct.t.ScanPrefetch()
+		}
+		if w > 0 && it.pos+1 < len(it.oids) {
+			it.pf = startPrefetcher(it.h.ct.t, it.oids, w, it.pos)
+		}
+	} else if it.pf != nil {
+		it.pf.advance(it.pos)
+	}
 	return true
 }
 
@@ -133,6 +169,9 @@ func (it *Iterator) Write() (objectstore.Object, error) {
 	if err != nil {
 		return nil, err
 	}
+	if it.updates == nil {
+		it.updates = make(map[objectstore.ObjectID]*updateRec)
+	}
 	it.updates[oid] = &updateRec{obj: obj, preKeys: preKeys}
 	it.order = append(it.order, oid)
 	return obj, nil
@@ -177,6 +216,9 @@ func (it *Iterator) Delete() error {
 			}
 			preKeys[i] = k
 		}
+	}
+	if it.deletes == nil {
+		it.deletes = make(map[objectstore.ObjectID]*updateRec)
 	}
 	it.deletes[oid] = &updateRec{obj: obj, preKeys: preKeys}
 	return nil
@@ -224,6 +266,12 @@ func (it *Iterator) Close() error {
 	}
 	it.closed = true
 	it.h.openIters--
+	// Cancel the prefetcher and wait for it before index maintenance: once
+	// Close returns, nothing may touch the transaction concurrently.
+	if it.pf != nil {
+		it.pf.close()
+		it.pf = nil
+	}
 
 	t := it.h.ct.t
 	// Deletions first.

@@ -83,6 +83,19 @@ type Options struct {
 	// (see chunkstore.Config.WriteBehind).
 	WriteBehind int
 
+	// ScanPrefetch is the default sliding-window depth iterators prefetch
+	// ahead of their cursor: planned, coalesced, and decrypted off-mutex,
+	// landing in the read cache just before dereference. 0 selects the
+	// default (TDB_SCANPREFETCH env override, else 32); negative disables.
+	// Iterator.SetPrefetch overrides per scan.
+	ScanPrefetch int
+
+	// ReadCacheBytes bounds the chunk store's validated-plaintext read
+	// cache, where prefetched chunks land and concurrent scanners share
+	// each other's fetches (default 4 MiB; see
+	// chunkstore.Config.ReadCacheBytes). Negative disables the cache.
+	ReadCacheBytes int64
+
 	// Retry governs how transient storage I/O errors are retried (zero
 	// fields select the defaults; see chunkstore.RetryPolicy).
 	Retry chunkstore.RetryPolicy
@@ -218,6 +231,7 @@ func (db *DB) chunkConfig() chunkstore.Config {
 		DisableAutoClean:      db.opts.DisableAutoClean,
 		DisableAutoCheckpoint: db.opts.DisableAutoCheckpoint,
 		WriteBehind:           db.opts.WriteBehind,
+		ReadCacheBytes:        db.opts.ReadCacheBytes,
 		Retry:                 db.opts.Retry,
 		GroupCommit:           db.opts.GroupCommit,
 	}
@@ -232,6 +246,7 @@ func (db *DB) layerUp() error {
 		LockTimeout:    db.opts.LockTimeout,
 		DisableLocking: db.opts.DisableLocking,
 		ReadonlyChecks: db.opts.ReadonlyChecks,
+		ScanPrefetch:   db.opts.ScanPrefetch,
 	})
 	if err != nil {
 		return err

@@ -329,6 +329,38 @@ func (vt *versionTable) decodedPut(oid ObjectID, obj Object, size int64) {
 	vt.decodedBytes += size
 }
 
+// prefetchFilter returns the subset of oids a scan prefetch should pull
+// from the chunk store, under one read-locked pass: objects with a version
+// chain are skipped (they resolve from the table, and their committed chunk
+// state may be newer than what a snapshot reader will see), as are objects
+// whose committed decode is already cached. Duplicates and nil ids drop.
+func (vt *versionTable) prefetchFilter(oids []ObjectID) []ObjectID {
+	vt.mu.RLock()
+	defer vt.mu.RUnlock()
+	out := make([]ObjectID, 0, len(oids))
+	var seen map[ObjectID]struct{}
+	for _, oid := range oids {
+		if oid == NilObject {
+			continue
+		}
+		if _, chained := vt.chains[oid]; chained {
+			continue
+		}
+		if _, cached := vt.decoded[oid]; cached {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[ObjectID]struct{}, len(oids))
+		}
+		if _, dup := seen[oid]; dup {
+			continue
+		}
+		seen[oid] = struct{}{}
+		out = append(out, oid)
+	}
+	return out
+}
+
 // chainCount reports the number of live version chains (tests and stats).
 func (vt *versionTable) chainCount() int {
 	vt.mu.RLock()

@@ -204,6 +204,58 @@ func (t *Txn) snapshotOpen(oid ObjectID) (Object, error) {
 	return obj, nil
 }
 
+// Prefetch hints that the listed objects are about to be opened, warming
+// the read path for them: their committed chunks are fetched, validated,
+// and decrypted through the chunk store's batch read pipeline (coalesced
+// segment reads, bounded parallel decrypt) into the sharded read cache, and
+// chain-free objects are unpickled into the MVCC decode cache so snapshot
+// opens skip the chunk store entirely. It returns the number of chunks
+// warmed. Errors are deliberately swallowed — a hint must never fail harder
+// than the open it accelerates, and the open will surface them.
+//
+// Unlike every other Txn method, Prefetch is safe to call concurrently
+// with opens on the same transaction (iterators drive it from a prefetch
+// goroutine): it touches only store-level state — the version table and
+// the chunk store, which are internally synchronized — and none of the
+// transaction's own maps.
+func (t *Txn) Prefetch(oids []ObjectID) int {
+	if len(oids) == 0 {
+		return 0
+	}
+	vt := t.s.versions
+	// Pin the current stamp for the duration of the warm. The pin
+	// guarantees that any commit staging a chain for one of these objects
+	// keeps the chain alive until we are done, which is what makes
+	// decodedPut's no-chain recheck sound (see versionTable.decodedPut);
+	// the transaction's own pin cannot serve, because a read-write
+	// transaction holds none.
+	pin, _ := vt.pin()
+	defer vt.unpin(pin)
+	cands := vt.prefetchFilter(oids)
+	if len(cands) == 0 {
+		return 0
+	}
+	cids := make([]chunkstore.ChunkID, len(cands))
+	for i, oid := range cands {
+		cids[i] = chunkstore.ChunkID(oid)
+	}
+	warmed := 0
+	for i, r := range t.s.chunks.ReadBatch(cids) {
+		if r.Err != nil || r.Data == nil {
+			continue
+		}
+		warmed++
+		if obj, err := unpickleObject(t.s.cfg.Registry, r.Data); err == nil {
+			vt.decodedPut(cands[i], obj, int64(len(r.Data)))
+		}
+	}
+	return warmed
+}
+
+// ScanPrefetch reports the store's effective scan-prefetch window (0 when
+// disabled); iterators consult it when no per-iterator override is set.
+func (t *Txn) ScanPrefetch() int { return t.s.ScanPrefetch() }
+
 // openLocked opens an object for a read-write transaction with the store
 // mutex held by design: strict 2PL reads serialize on the store mutex, and
 // a cache miss faults the object in from the chunk store under it (§4.2.2).

@@ -50,9 +50,13 @@ import (
 type DB = core.DB
 
 // Options configures Open and Restore. Performance knobs surfaced from the
-// chunk store include Options.GroupCommit (durable-commit coalescing) and
+// chunk store include Options.GroupCommit (durable-commit coalescing),
 // Options.WriteBehind (tail-buffer batching of log appends; the
-// TDB_WRITEBEHIND environment variable overrides the default cap).
+// TDB_WRITEBEHIND environment variable overrides the default cap), and
+// Options.ScanPrefetch (the iterator scan-prefetch window; TDB_SCANPREFETCH
+// overrides the default, Iterator.SetPrefetch overrides per scan), and
+// Options.ReadCacheBytes (the validated-plaintext read cache prefetched
+// chunks land in and concurrent scanners share).
 type Options = core.Options
 
 // Open opens or creates a database, performing recovery and tamper
@@ -98,7 +102,8 @@ type (
 	GroupCommitConfig = chunkstore.GroupCommitConfig
 	// Stats is what DB.Stats reports: storage sizes, commit/cleaning
 	// counters, and read-path telemetry (read-cache hits, misses, shard
-	// count, slow-path fallbacks).
+	// count, slow-path fallbacks, and the scan-prefetch counters:
+	// coalesced reads, prefetched chunks, prefetch hits and wasted).
 	Stats = chunkstore.Stats
 )
 
